@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the incremental transitive closure — the data
+//! structure every `@`-query and Store Atomicity rule sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+
+use samm_core::closure::Closure;
+use samm_core::ids::NodeId;
+
+fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let a = rng.gen_range(0..n - 1);
+            let b = rng.gen_range(a + 1..n);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_add_edges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/add_edges");
+    for n in [32usize, 64, 128, 256] {
+        let edges = random_edges(n, 3 * n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut c = Closure::new();
+                let ids: Vec<NodeId> = (0..n).map(|_| c.add_node()).collect();
+                for &(a, bb) in edges {
+                    c.add_edge(ids[a], ids[bb]).expect("forward edge");
+                }
+                std::hint::black_box(c.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/queries");
+    for n in [64usize, 256] {
+        let edges = random_edges(n, 3 * n, 7);
+        let mut closure = Closure::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| closure.add_node()).collect();
+        for (a, b) in edges {
+            closure.add_edge(ids[a], ids[b]).expect("forward edge");
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &closure, |b, closure| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for i in 0..n {
+                    for j in 0..n {
+                        if closure.reaches(ids[i], ids[j]) {
+                            hits += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_worst_case(c: &mut Criterion) {
+    // Inserting a chain front-to-back is the worst case for incremental
+    // closure maintenance (each edge extends every prefix).
+    let mut group = c.benchmark_group("closure/chain");
+    for n in [64usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut c = Closure::new();
+                let ids: Vec<NodeId> = (0..n).map(|_| c.add_node()).collect();
+                for w in ids.windows(2) {
+                    c.add_edge(w[0], w[1]).expect("chain edge");
+                }
+                std::hint::black_box(c.reaches(ids[0], ids[n - 1]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_edges,
+    bench_reachability_queries,
+    bench_chain_worst_case
+);
+criterion_main!(benches);

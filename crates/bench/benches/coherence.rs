@@ -1,0 +1,59 @@
+//! Throughput of the MSI directory simulator plus the Store Atomicity
+//! trace checker (paper sections 4.2 and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_coherence::{check_trace, CoherentSystem, SystemConfig};
+use samm_litmus::catalog;
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence/run");
+    for entry in [catalog::mp(), catalog::sb(), catalog::iriw_fenced()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.test.name.clone()),
+            &entry,
+            |b, entry| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let run = CoherentSystem::new(
+                        &entry.test.program,
+                        SystemConfig {
+                            seed,
+                            ..SystemConfig::default()
+                        },
+                    )
+                    .run()
+                    .expect("protocol completes");
+                    std::hint::black_box(run.stats.messages)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence/check");
+    for entry in [catalog::mp(), catalog::iriw_fenced()] {
+        let run = CoherentSystem::new(&entry.test.program, SystemConfig::default())
+            .run()
+            .expect("protocol completes");
+        let program = entry.test.program.clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.test.name.clone()),
+            &run.trace,
+            |b, trace| {
+                b.iter(|| {
+                    let report = check_trace(trace, |a| program.initial_value(a));
+                    assert!(report.consistent);
+                    std::hint::black_box(report.atomicity_edges)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs, bench_trace_checking);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: Load-Store-graph deduplication (paper section 4.1, "we
+//! discard duplicate behaviors from B at each Load Resolution step to
+//! avoid wasting effort"). Enumeration with dedup disabled explores the
+//! same outcome set through many redundant resolution orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_litmus::{catalog, ModelSel};
+
+fn bench_dedup_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(10);
+    let cases = [
+        (catalog::sb(), ModelSel::Weak),
+        (catalog::mp(), ModelSel::Weak),
+        (catalog::fig5(), ModelSel::Weak),
+        (catalog::fig10(), ModelSel::Tso),
+    ];
+    for (entry, model) in cases {
+        let policy = model.policy();
+        for dedup in [true, false] {
+            let cfg = EnumConfig {
+                dedup,
+                keep_executions: false,
+                ..EnumConfig::default()
+            };
+            let label = format!(
+                "{}/{}/{}",
+                entry.test.name,
+                model.name(),
+                if dedup { "dedup" } else { "no-dedup" }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &entry, |b, entry| {
+                b.iter(|| {
+                    let r = enumerate(&entry.test.program, &policy, &cfg).expect("enumerates");
+                    std::hint::black_box((r.outcomes.len(), r.stats.explored))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! One benchmark per paper figure: full behaviour enumeration under the
+//! figure's headline model. Regenerating a figure = enumerating its
+//! program and checking its verdicts, so this measures the cost of the
+//! reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_litmus::{catalog, ModelSel};
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    let cases: Vec<(samm_litmus::CatalogEntry, ModelSel)> = vec![
+        (catalog::fig3(), ModelSel::Weak),
+        (catalog::fig4(), ModelSel::Weak),
+        (catalog::fig5(), ModelSel::Weak),
+        (catalog::fig7(), ModelSel::Weak),
+        (catalog::fig8(), ModelSel::Weak),
+        (catalog::fig8(), ModelSel::WeakSpec),
+        (catalog::fig10(), ModelSel::Tso),
+        (catalog::fig10(), ModelSel::Weak),
+        (catalog::fig10(), ModelSel::NaiveTso),
+    ];
+    for (entry, model) in cases {
+        let policy = model.policy();
+        let cfg = config();
+        group.bench_with_input(
+            BenchmarkId::new(entry.test.name.clone(), model.name()),
+            &entry,
+            |b, entry| {
+                b.iter(|| {
+                    let r = enumerate(&entry.test.program, &policy, &cfg).expect("enumerates");
+                    std::hint::black_box(r.outcomes.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verdict_matrix(c: &mut Criterion) {
+    // The full conformance run over all paper figures — the end-to-end
+    // reproduction cost.
+    let figures = catalog::paper_figures();
+    let cfg = config();
+    c.bench_function("figures/full_verdict_matrix", |b| {
+        b.iter(|| {
+            let mut passes = 0usize;
+            for entry in &figures {
+                let report = samm_litmus::expect::run_entry(entry, &cfg).expect("runs");
+                passes += report.rows.iter().filter(|r| r.pass()).count();
+            }
+            std::hint::black_box(passes)
+        });
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_verdict_matrix);
+criterion_main!(benches);

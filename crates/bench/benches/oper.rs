@@ -1,0 +1,90 @@
+//! Baseline comparison: the graph-based enumeration of the paper versus
+//! plain explicit-state operational enumeration, for the models where both
+//! exist (SC and TSO). The graph framework's advantage is *compression* —
+//! one partially-ordered execution stands for many interleavings — so its
+//! explored-state counts (and often its wall-clock) sit far below the
+//! interleaving machines on load-light programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::policy::Policy;
+use samm_litmus::catalog;
+use samm_oper::{enumerate_sc, enumerate_tso};
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+fn bench_sc_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oper/sc");
+    group.sample_size(20);
+    for entry in [
+        catalog::sb(),
+        catalog::mp(),
+        catalog::iriw(),
+        catalog::fig5(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("graph", entry.test.name.clone()),
+            &entry,
+            |b, entry| {
+                b.iter(|| {
+                    let r = enumerate(
+                        &entry.test.program,
+                        &Policy::sequential_consistency(),
+                        &config(),
+                    )
+                    .expect("enumerates");
+                    std::hint::black_box(r.outcomes.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interleaving", entry.test.name.clone()),
+            &entry,
+            |b, entry| {
+                b.iter(|| {
+                    let o = enumerate_sc(&entry.test.program, 10_000_000).expect("enumerates");
+                    std::hint::black_box(o.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tso_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oper/tso");
+    group.sample_size(20);
+    for entry in [catalog::sb(), catalog::fig10()] {
+        group.bench_with_input(
+            BenchmarkId::new("graph", entry.test.name.clone()),
+            &entry,
+            |b, entry| {
+                b.iter(|| {
+                    let r = enumerate(&entry.test.program, &Policy::tso(), &config())
+                        .expect("enumerates");
+                    std::hint::black_box(r.outcomes.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("store-buffer", entry.test.name.clone()),
+            &entry,
+            |b, entry| {
+                b.iter(|| {
+                    let o = enumerate_tso(&entry.test.program, 10_000_000).expect("enumerates");
+                    std::hint::black_box(o.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sc_comparison, bench_tso_comparison);
+criterion_main!(benches);

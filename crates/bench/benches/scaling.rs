@@ -1,0 +1,61 @@
+//! Scaling of the enumeration procedure with thread count and program
+//! length — the state-explosion shape one expects of exhaustive
+//! enumeration, with Load-Store-graph deduplication keeping it in check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::policy::Policy;
+use samm_litmus::rand_prog::{sb_chain, straightline};
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/threads");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let prog = sb_chain(n);
+        for policy in [Policy::sequential_consistency(), Policy::weak()] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name().to_owned(), n),
+                &prog,
+                |b, prog| {
+                    b.iter(|| {
+                        let r = enumerate(prog, &policy, &config()).expect("enumerates");
+                        std::hint::black_box(r.outcomes.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_program_length(c: &mut Criterion) {
+    // Single-threaded straightline programs isolate graph-construction and
+    // closure cost. Note: even a deterministic program's *intermediate*
+    // state count grows as 2^k in its k independent unresolved loads (the
+    // paper's "Load Resolution is the only place where our enumeration
+    // procedure may duplicate effort"), so the sweep stays below ~12
+    // loads.
+    let mut group = c.benchmark_group("scaling/length");
+    group.sample_size(10);
+    for len in [8usize, 12, 16, 20, 24] {
+        let prog = straightline(len, 4);
+        group.bench_with_input(BenchmarkId::new("weak", len), &prog, |b, prog| {
+            b.iter(|| {
+                let r = enumerate(prog, &Policy::weak(), &config()).expect("enumerates");
+                std::hint::black_box(r.stats.max_graph_nodes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_program_length);
+criterion_main!(benches);

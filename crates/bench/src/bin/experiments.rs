@@ -1,0 +1,297 @@
+//! Regenerates every figure/table of the paper and prints paper-claim vs
+//! measured verdicts — the reproduction record behind `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p samm-bench --bin experiments`
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::policy::Policy;
+use samm_core::speculation;
+use samm_litmus::{catalog, expect, ModelSel};
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+fn heading(s: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{s}");
+    println!("{}", "=".repeat(72));
+}
+
+/// E1 / Figure 1: the reordering-axiom tables.
+fn experiment_tables() {
+    heading("E1 — Figure 1: reordering axiom tables");
+    for policy in [
+        Policy::weak(),
+        Policy::sequential_consistency(),
+        Policy::tso(),
+        Policy::naive_tso(),
+        Policy::pso(),
+    ] {
+        println!("\n{policy}");
+    }
+}
+
+/// E3–E9: the worked figures, checked verdict by verdict.
+fn experiment_figures() {
+    heading("E3–E9 — paper figures 3, 4, 5, 7, 8, 10 (verdict matrix)");
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for entry in catalog::paper_figures() {
+        let report = expect::run_entry(&entry, &config()).expect("enumeration succeeds");
+        println!("\n{report}");
+        total += report.rows.len();
+        pass += report.rows.iter().filter(|r| r.pass()).count();
+    }
+    println!("\nfigure verdicts: {pass}/{total} match the paper");
+}
+
+/// Writes DOT renderings of each paper figure's key execution to
+/// `target/figures/` (render with `dot -Tpng`).
+fn emit_figure_dots() {
+    use samm_core::dot::{render, DotOptions};
+    let dir = std::path::Path::new("target/figures");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("cannot create {}; skipping DOT output", dir.display());
+        return;
+    }
+    let cases = [
+        (catalog::fig3(), ModelSel::Weak, 1usize),
+        (catalog::fig4(), ModelSel::Weak, 2),
+        (catalog::fig5(), ModelSel::Weak, 1),
+        (catalog::fig7(), ModelSel::Weak, 0),
+        (catalog::fig8(), ModelSel::WeakSpec, 0),
+        (catalog::fig10(), ModelSel::Tso, 0),
+    ];
+    for (entry, model, cond_index) in cases {
+        let result = enumerate(&entry.test.program, &model.policy(), &EnumConfig::default())
+            .expect("enumeration succeeds");
+        let cond = &entry.test.conditions[cond_index];
+        if let Some(exec) = result
+            .executions
+            .iter()
+            .find(|b| cond.matches(&b.outcome()))
+        {
+            let dot = render(
+                exec,
+                &DotOptions {
+                    title: format!("{} under {} ({})", entry.test.name, model.name(), cond.text),
+                    loads_and_stores_only: true,
+                    ..DotOptions::default()
+                },
+            );
+            let path = dir.join(format!("{}_{}.dot", entry.test.name, model.name()));
+            if std::fs::write(&path, dot).is_ok() {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// The classic litmus suite across all models.
+fn experiment_classics() {
+    heading("classic litmus suite (verdict matrix)");
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for entry in catalog::all() {
+        if entry.test.name.starts_with("fig") {
+            continue;
+        }
+        let report = expect::run_entry(&entry, &config()).expect("enumeration succeeds");
+        println!("\n{report}");
+        total += report.rows.len();
+        pass += report.rows.iter().filter(|r| r.pass()).count();
+    }
+    println!("\nclassic verdicts: {pass}/{total} match the expected model behaviour");
+}
+
+/// E10: the outcome-count bracketing table.
+fn experiment_bracketing() {
+    heading("E10 — outcome counts per model (SC ⊆ TSO ⊆ PSO ⊆ Weak ⊆ Weak+spec)");
+    print!("{:<12}", "test");
+    for m in ModelSel::ALL {
+        print!("{:>10}", m.name());
+    }
+    println!();
+    for entry in catalog::all() {
+        print!("{:<12}", entry.test.name);
+        for model in ModelSel::ALL {
+            let n = enumerate(&entry.test.program, &model.policy(), &config())
+                .expect("enumeration succeeds")
+                .outcomes
+                .len();
+            print!("{n:>10}");
+        }
+        println!();
+    }
+    println!("\n(naive TSO may dip below TSO — that is Figure 11's point)");
+}
+
+/// E8 focus: the speculation case study in numbers.
+fn experiment_speculation() {
+    heading("E8 — Figure 8/9: address-aliasing speculation study");
+    let entry = catalog::fig8();
+    let report =
+        speculation::compare(&entry.test.program, &Policy::weak(), &config()).expect("runs");
+    println!(
+        "non-speculative outcomes: {:>3}   (explored {} behaviours)",
+        report.base.outcomes.len(),
+        report.base.stats.explored
+    );
+    println!(
+        "speculative outcomes:     {:>3}   (explored {}, rolled back {})",
+        report.speculative.outcomes.len(),
+        report.speculative.stats.explored,
+        report.rollbacks()
+    );
+    println!(
+        "new behaviours admitted by speculation: {}",
+        report.new_outcomes().len()
+    );
+    println!(
+        "non-speculative ⊆ speculative: {}",
+        if report.base_is_subset() {
+            "yes"
+        } else {
+            "NO (bug!)"
+        }
+    );
+}
+
+/// E9 focus: Figure 10 across the four models of Figure 11.
+fn experiment_tso() {
+    heading("E9 — Figure 10/11: the TSO bypass execution across models");
+    let entry = catalog::fig10();
+    let cond = &entry.test.conditions[0];
+    println!("condition: {}", cond.text);
+    for model in [
+        ModelSel::Sc,
+        ModelSel::NaiveTso,
+        ModelSel::Tso,
+        ModelSel::Pso,
+        ModelSel::Weak,
+    ] {
+        let outcomes = enumerate(&entry.test.program, &model.policy(), &config())
+            .expect("enumeration succeeds")
+            .outcomes;
+        println!(
+            "  {:9} -> {} ({} outcomes total)",
+            model.name(),
+            if cond.observable_in(&outcomes) {
+                "allowed"
+            } else {
+                "forbidden"
+            },
+            outcomes.len()
+        );
+    }
+    println!("paper: forbidden under SC and naive reordering, allowed by TSO-with-bypass and Weak");
+}
+
+/// E12: coherence-protocol conformance.
+fn experiment_coherence() {
+    heading("E12 — section 4.2: MSI directory protocol vs Store Atomicity");
+    use samm_coherence::{check_trace, CoherentSystem, SystemConfig};
+    let mut runs = 0usize;
+    let mut consistent = 0usize;
+    let mut sc_outcomes = 0usize;
+    for entry in catalog::all() {
+        let program = &entry.test.program;
+        let sc = samm_oper::enumerate_sc(program, 2_000_000).expect("SC enumeration");
+        for seed in 0..10 {
+            let run = CoherentSystem::new(
+                program,
+                SystemConfig {
+                    seed,
+                    ..SystemConfig::default()
+                },
+            )
+            .run()
+            .expect("protocol completes");
+            runs += 1;
+            if check_trace(&run.trace, |a| program.initial_value(a)).consistent {
+                consistent += 1;
+            }
+            if sc.contains(&run.outcome) {
+                sc_outcomes += 1;
+            }
+        }
+    }
+    println!("protocol runs:                     {runs}");
+    println!("traces satisfying Store Atomicity: {consistent}/{runs}");
+    println!("outcomes sequentially consistent:  {sc_outcomes}/{runs}");
+}
+
+/// Compression: "one graph represents many instruction interleavings with
+/// identical behaviors" (paper section 1) — measured as serializations per
+/// execution.
+fn experiment_compression() {
+    heading("graph compression — serializations represented per execution");
+    println!(
+        "{:<12} {:>11} {:>16} {:>9}",
+        "test", "executions", "serializations", "ratio"
+    );
+    let cfg = EnumConfig::default();
+    for entry in [
+        catalog::sb(),
+        catalog::mp(),
+        catalog::fig3(),
+        catalog::fig7(),
+    ] {
+        let result = enumerate(&entry.test.program, &Policy::weak(), &cfg).expect("runs");
+        let mut total = 0usize;
+        for exec in &result.executions {
+            total += samm_core::serialize::serializations(exec, 100_000).len();
+        }
+        let execs = result.executions.len();
+        println!(
+            "{:<12} {:>11} {:>16} {:>8.1}x",
+            entry.test.name,
+            execs,
+            total,
+            total as f64 / execs.max(1) as f64
+        );
+    }
+}
+
+/// E13: enumeration statistics (supplementary; the paper reports none).
+fn experiment_stats() {
+    heading("E13 — enumeration statistics (supplementary)");
+    println!(
+        "{:<12} {:>9} {:>10} {:>9} {:>9} {:>11}",
+        "test", "model", "explored", "forks", "deduped", "executions"
+    );
+    for entry in catalog::paper_figures() {
+        for model in [ModelSel::Sc, ModelSel::Weak] {
+            let r = enumerate(&entry.test.program, &model.policy(), &config())
+                .expect("enumeration succeeds");
+            println!(
+                "{:<12} {:>9} {:>10} {:>9} {:>9} {:>11}",
+                entry.test.name,
+                model.name(),
+                r.stats.explored,
+                r.stats.forks,
+                r.stats.deduped,
+                r.stats.distinct_executions
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("samm experiments — reproducing 'Memory Model = Instruction Reordering + Store Atomicity' (ISCA 2006)");
+    experiment_tables();
+    experiment_figures();
+    emit_figure_dots();
+    experiment_classics();
+    experiment_bracketing();
+    experiment_speculation();
+    experiment_tso();
+    experiment_coherence();
+    experiment_compression();
+    experiment_stats();
+    println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured record.");
+}

@@ -1,0 +1,65 @@
+//! Complete small-world model comparison: sweeps *every* program of a
+//! bounded litmus family and tabulates, for each adjacent pair of the
+//! model chain, how many programs separate them — the systematic
+//! counterpart of the paper's hand-picked examples.
+//!
+//! Run with: `cargo run --release -p samm-bench --bin synthesis`
+
+use samm_litmus::synthesis::{diff_models, programs, SynthConfig};
+use samm_litmus::ModelSel;
+
+fn sweep(config: &SynthConfig, label: &str) {
+    println!(
+        "\n=== family `{label}`: {} threads × {} ops, {} locations{} — {} programs ===",
+        config.threads,
+        config.ops_per_thread,
+        config.locations,
+        if config.include_fences {
+            ", fences"
+        } else {
+            ""
+        },
+        config.family_size()
+    );
+    let pairs = [
+        (ModelSel::Sc, ModelSel::Tso),
+        (ModelSel::Tso, ModelSel::Pso),
+        (ModelSel::Pso, ModelSel::Weak),
+        (ModelSel::Weak, ModelSel::WeakSpec),
+    ];
+    for (strong, weak) in pairs {
+        let summary = diff_models(config, &strong.policy(), &weak.policy());
+        print!(
+            "{:>5} vs {:<10} differ on {:>4}/{} programs",
+            strong.name(),
+            weak.name(),
+            summary.differing,
+            summary.programs
+        );
+        match summary.first_exemplar {
+            Some(index) => {
+                println!("   first exemplar: #{index}");
+                let program = programs(config).nth(index).expect("index in range");
+                for (t, thread) in program.threads().iter().enumerate() {
+                    let ops: Vec<String> =
+                        thread.instrs().iter().map(ToString::to_string).collect();
+                    println!("        T{t}: {}", ops.join(" ; "));
+                }
+            }
+            None => println!(),
+        }
+    }
+}
+
+fn main() {
+    println!("samm synthesis — exhaustive small-world model comparison");
+    sweep(&SynthConfig::default(), "2x2");
+    sweep(
+        &SynthConfig {
+            include_fences: true,
+            ..SynthConfig::default()
+        },
+        "2x2+fences",
+    );
+    println!("\ninclusion (stronger ⊆ weaker) was asserted on every program of every family ✔");
+}

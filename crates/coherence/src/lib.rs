@@ -1,0 +1,34 @@
+//! # samm-coherence — a MESI directory protocol checked against Store
+//! Atomicity
+//!
+//! Paper section 4.2: "We can view a cache coherence protocol as a
+//! conservative approximation to Store Atomicity. Ordering constraints are
+//! inserted eagerly, imposing a well-defined order for memory operations
+//! even when the exact order is not observed by any thread."
+//!
+//! This crate builds that claim into an executable experiment. It
+//! implements an ownership-based MESI directory cache-coherence system
+//! (with the Exclusive state and silent E→M upgrade):
+//! in-order cores with private L1 caches, a directory tracking sharers and
+//! owners, and an interconnect with per-link queues and randomized delivery
+//! delays. Running a litmus program through the simulator yields a trace of
+//! loads and stores annotated with *which store's data* every load
+//! returned; [`trace`] converts the trace into an execution graph of
+//! [`samm_core`] and checks it against Store Atomicity — the protocol run
+//! must never produce a cycle, and (with SC cores) its outcome must be a
+//! sequentially consistent outcome.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod msg;
+pub mod system;
+pub mod trace;
+
+pub use system::{CoherentSystem, Fault, SystemConfig};
+pub use trace::{
+    check_trace, check_trace_under, trace_to_execution, trace_to_execution_under, MemEvent,
+    TraceReport,
+};

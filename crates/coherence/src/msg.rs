@@ -1,0 +1,154 @@
+//! Protocol messages for the MSI directory protocol.
+//!
+//! The protocol is the textbook ownership-based design the paper sketches
+//! in section 4.2: "a Store must obtain ownership of the data — in effect
+//! ordering this Store after the Stores of any prior owners... a Store
+//! operation must also revoke any cached copies of the line... a Load
+//! operation must obtain a copy of the data read from the current owner."
+//!
+//! Data messages carry, besides the value, the *id of the store that last
+//! wrote it* — the simulator's way of recording `source(L)` so that runs
+//! can be checked against Store Atomicity.
+
+use samm_core::ids::{Addr, Value};
+
+/// Globally unique id of a completed store event (or `None` for the
+/// initial memory image).
+pub type WriterId = Option<usize>;
+
+/// A protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// Core requests a read-only copy.
+    GetS {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Core requests ownership (exclusive, writable).
+    GetM {
+        /// Requesting core.
+        core: usize,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Directory forwards a read request to the current owner.
+    FwdGetS {
+        /// The core waiting for data.
+        requester: usize,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Directory forwards an ownership request to the current owner.
+    FwdGetM {
+        /// The core waiting for data + ownership.
+        requester: usize,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Directory tells a sharer to drop its copy and ack the requester.
+    Inv {
+        /// The core collecting invalidation acks.
+        requester: usize,
+        /// Line address.
+        addr: Addr,
+    },
+    /// A sharer acknowledges an invalidation to the requester.
+    InvAck {
+        /// Line address.
+        addr: Addr,
+    },
+    /// Data delivery (from directory or owner).
+    Data {
+        /// Line address.
+        addr: Addr,
+        /// Current line value.
+        value: Value,
+        /// Store event that produced the value.
+        writer: WriterId,
+        /// Invalidation acks the requester must collect before completing
+        /// a store (zero for loads and uncontended stores).
+        acks: usize,
+        /// Grant the line in the Exclusive state (a `GetS` that found the
+        /// line uncached — the MESI E optimization).
+        exclusive: bool,
+    },
+    /// Owner writes the line back to the directory on an M→S downgrade.
+    WbData {
+        /// Line address.
+        addr: Addr,
+        /// Line value.
+        value: Value,
+        /// Store event that produced the value.
+        writer: WriterId,
+    },
+    /// Requester signals transaction completion; the directory unblocks
+    /// the line.
+    Unblock {
+        /// The completing core.
+        core: usize,
+        /// Line address.
+        addr: Addr,
+    },
+}
+
+impl Msg {
+    /// The line address the message concerns.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            Msg::GetS { addr, .. }
+            | Msg::GetM { addr, .. }
+            | Msg::FwdGetS { addr, .. }
+            | Msg::FwdGetM { addr, .. }
+            | Msg::Inv { addr, .. }
+            | Msg::InvAck { addr }
+            | Msg::Data { addr, .. }
+            | Msg::WbData { addr, .. }
+            | Msg::Unblock { addr, .. } => addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_is_extracted_from_every_variant() {
+        let a = Addr::new(7);
+        let msgs = [
+            Msg::GetS { core: 0, addr: a },
+            Msg::GetM { core: 0, addr: a },
+            Msg::FwdGetS {
+                requester: 1,
+                addr: a,
+            },
+            Msg::FwdGetM {
+                requester: 1,
+                addr: a,
+            },
+            Msg::Inv {
+                requester: 1,
+                addr: a,
+            },
+            Msg::InvAck { addr: a },
+            Msg::Data {
+                addr: a,
+                value: Value::ZERO,
+                writer: None,
+                acks: 0,
+                exclusive: false,
+            },
+            Msg::WbData {
+                addr: a,
+                value: Value::ZERO,
+                writer: None,
+            },
+            Msg::Unblock { core: 0, addr: a },
+        ];
+        for m in msgs {
+            assert_eq!(m.addr(), a);
+        }
+    }
+}

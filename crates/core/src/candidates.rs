@@ -1,0 +1,261 @@
+//! Candidate stores for load resolution (paper section 4).
+//!
+//! Resolving a load is the *only* source of non-determinism in a
+//! store-atomic model. For a load `L`, `candidates(L)` is the set of stores
+//! `S =ₐ L` such that
+//!
+//! 1. every load `L₀ @ S` and store `S₀ @ S` has already been resolved, and
+//! 2. `S` has not certainly been overwritten: `¬∃ S₀ =ₐ L. S @ S₀ @ L`.
+//!
+//! The definition is only valid once every *predecessor load* of `L` has
+//! been resolved ("resolving a Load early can introduce additional
+//! inter-thread edges... By restricting Load resolution, we avoid this
+//! possibility"), so [`load_resolvable`] implements that gate.
+
+use crate::graph::ExecutionGraph;
+use crate::ids::NodeId;
+
+/// Returns `true` when load `L` may be resolved now: its address is known,
+/// it is still unresolved, and every load `@`-preceding it has been
+/// resolved.
+///
+/// # Panics
+///
+/// Panics if `load` is not a load node.
+pub fn load_resolvable(graph: &ExecutionGraph, load: NodeId) -> bool {
+    let node = graph.node(load);
+    assert!(node.is_load(), "{load} is not a load");
+    if node.is_resolved() || node.addr().is_none() {
+        return false;
+    }
+    graph
+        .predecessors(load)
+        .iter()
+        .map(NodeId::new)
+        .all(|p| !graph.node(p).is_load() || graph.node(p).is_resolved())
+}
+
+/// Computes `candidates(L)` for a load whose address is known.
+///
+/// Initial-memory stores guarantee the result is non-empty for any
+/// consistent graph (the paper: "Memory is initialized with Store
+/// operations before any thread is started. This guarantees that there will
+/// always be at least one 'most recent Store'").
+///
+/// The returned stores are in node-id order.
+///
+/// # Panics
+///
+/// Panics if `load` is not an address-resolved, unresolved load.
+pub fn candidates(graph: &ExecutionGraph, load: NodeId) -> Vec<NodeId> {
+    let node = graph.node(load);
+    assert!(node.is_load(), "{load} is not a load");
+    assert!(!node.is_resolved(), "{load} is already resolved");
+    let addr = node.addr().expect("candidates require a resolved address");
+
+    let same_addr_stores: Vec<NodeId> = graph.stores_to(addr).collect();
+    let mut out = Vec::new();
+
+    'next_store: for &store in &same_addr_stores {
+        let s = graph.node(store);
+        // The candidate itself must have executed: address and value known.
+        if !s.is_resolved() {
+            continue;
+        }
+        // A store already ordered after the load can never be its source.
+        if graph.precedes(load, store) {
+            continue;
+        }
+        // Condition 1: all memory operations @-preceding S are resolved.
+        for p in graph.predecessors(store).iter().map(NodeId::new) {
+            let pn = graph.node(p);
+            if pn.is_memory() && !pn.is_resolved() {
+                continue 'next_store;
+            }
+        }
+        // Condition 2: S must not have been overwritten between S and L.
+        for &other in &same_addr_stores {
+            if other != store && graph.precedes(store, other) && graph.precedes(other, load) {
+                continue 'next_store;
+            }
+        }
+        out.push(store);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExecutionGraph;
+    use crate::testutil::{mk_init, mk_load, mk_store, observe, order};
+
+    const X: u64 = 1;
+    const Y: u64 = 2;
+
+    #[test]
+    fn unordered_store_and_init_are_both_candidates() {
+        let mut g = ExecutionGraph::new();
+        let s = mk_store(&mut g, 0, 0, X, 1);
+        let l = mk_load(&mut g, 1, 0, X);
+        let init = mk_init(&mut g, 0, X, 0);
+        let mut c = candidates(&g, l);
+        c.sort();
+        assert_eq!(c, {
+            let mut v = vec![s, init];
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn overwritten_store_is_excluded() {
+        // init @ s1 @ l: init is overwritten by s1 for this load.
+        let mut g = ExecutionGraph::new();
+        let s1 = mk_store(&mut g, 0, 0, X, 1);
+        let l = mk_load(&mut g, 0, 1, X);
+        order(&mut g, s1, l);
+        let init = mk_init(&mut g, 0, X, 0);
+        assert_eq!(candidates(&g, l), vec![s1]);
+        let _ = init;
+    }
+
+    #[test]
+    fn store_after_the_load_is_excluded() {
+        let mut g = ExecutionGraph::new();
+        let l = mk_load(&mut g, 0, 0, X);
+        let s = mk_store(&mut g, 0, 1, X, 1);
+        order(&mut g, l, s);
+        let init = mk_init(&mut g, 0, X, 0);
+        assert_eq!(candidates(&g, l), vec![init]);
+    }
+
+    #[test]
+    fn store_with_unresolved_predecessor_load_is_excluded() {
+        // Thread 0: L0 y ; S1 x (ordered), L0 unresolved.
+        // Thread 1: L2 x — S1 is not yet a legal candidate.
+        let mut g = ExecutionGraph::new();
+        let l0 = mk_load(&mut g, 0, 0, Y);
+        let s1 = mk_store(&mut g, 0, 1, X, 1);
+        order(&mut g, l0, s1);
+        let l2 = mk_load(&mut g, 1, 0, X);
+        let init_x = mk_init(&mut g, 0, X, 0);
+        let _init_y = mk_init(&mut g, 1, Y, 0);
+        assert_eq!(candidates(&g, l2), vec![init_x]);
+
+        // Resolving L0 makes S1 eligible.
+        let inits: Vec<_> = g.stores_to(crate::ids::Addr::new(Y)).collect();
+        observe(&mut g, inits[0], l0);
+        let mut c = candidates(&g, l2);
+        c.sort();
+        let mut expect = vec![s1, init_x];
+        expect.sort();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn resolvable_gate_requires_predecessor_loads_resolved() {
+        let mut g = ExecutionGraph::new();
+        let l0 = mk_load(&mut g, 0, 0, X);
+        let l1 = mk_load(&mut g, 0, 1, Y);
+        order(&mut g, l0, l1);
+        let init_x = mk_init(&mut g, 0, X, 0);
+        let _init_y = mk_init(&mut g, 1, Y, 0);
+        assert!(load_resolvable(&g, l0));
+        assert!(
+            !load_resolvable(&g, l1),
+            "L1 waits for its predecessor load"
+        );
+        observe(&mut g, init_x, l0);
+        assert!(load_resolvable(&g, l1));
+        assert!(!load_resolvable(&g, l0), "already resolved");
+    }
+
+    #[test]
+    fn resolvable_requires_known_address() {
+        use crate::graph::{Input, NodeDetail};
+        use crate::ids::{Reg, ThreadId};
+        let mut g = ExecutionGraph::new();
+        // A load whose address comes from another (unresolved) load.
+        let pointer = mk_load(&mut g, 0, 0, X);
+        let l = g.add_node(
+            ThreadId::new(0),
+            1,
+            NodeDetail::Load {
+                addr_in: Input::Node(pointer),
+                dst: Reg::new(1),
+            },
+        );
+        assert!(!load_resolvable(&g, l));
+    }
+
+    #[test]
+    fn candidates_is_never_empty_with_init() {
+        // Even when every "real" store is overwritten, init or the
+        // overwriting store remains.
+        let mut g = ExecutionGraph::new();
+        let s1 = mk_store(&mut g, 0, 0, X, 1);
+        let s2 = mk_store(&mut g, 0, 1, X, 2);
+        let l = mk_load(&mut g, 0, 2, X);
+        order(&mut g, s1, s2);
+        order(&mut g, s2, l);
+        order(&mut g, s1, l);
+        mk_init(&mut g, 0, X, 0);
+        assert_eq!(candidates(&g, l), vec![s2]);
+    }
+
+    #[test]
+    fn unresolved_store_is_not_a_candidate() {
+        use crate::graph::{Input, NodeDetail};
+        use crate::ids::{ThreadId, Value};
+        let mut g = ExecutionGraph::new();
+        // A store whose value input is a pending load: address known,
+        // value not.
+        let pending = mk_load(&mut g, 0, 0, Y);
+        let s = g.add_node(
+            ThreadId::new(0),
+            1,
+            NodeDetail::Store {
+                addr_in: Input::Const(Value::new(X)),
+                val_in: Input::Node(pending),
+            },
+        );
+        g.set_addr(s, crate::ids::Addr::new(X));
+        let l = mk_load(&mut g, 1, 0, X);
+        let init_x = mk_init(&mut g, 0, X, 0);
+        let _init_y = mk_init(&mut g, 1, Y, 0);
+        assert_eq!(candidates(&g, l), vec![init_x]);
+    }
+
+    #[test]
+    fn figure_3_candidate_narrowing() {
+        // After L5 observes S3 in Figure 3, L6's candidates exclude the
+        // overwritten S1.
+        let mut g = ExecutionGraph::new();
+        let s1 = mk_store(&mut g, 0, 0, X, 1);
+        let s2 = mk_store(&mut g, 0, 1, Y, 2);
+        let l5 = mk_load(&mut g, 0, 2, Y);
+        let s3 = mk_store(&mut g, 1, 0, Y, 3);
+        let s4 = mk_store(&mut g, 1, 1, X, 4);
+        let l6 = mk_load(&mut g, 1, 2, X);
+        order(&mut g, s1, s2);
+        order(&mut g, s1, l5);
+        order(&mut g, s2, l5);
+        order(&mut g, s3, s4);
+        order(&mut g, s3, l6);
+        order(&mut g, s4, l6);
+        mk_init(&mut g, 0, X, 0);
+        mk_init(&mut g, 1, Y, 0);
+
+        // Before L5 resolves, both S1 and S4 are candidates for L6 — but
+        // the resolvable gate does not yet matter for L6 (its predecessor
+        // loads: none).
+        let mut before = candidates(&g, l6);
+        before.sort();
+        assert_eq!(before, vec![s1, s4]);
+
+        observe(&mut g, s3, l5);
+        crate::atomicity::enforce(&mut g).unwrap();
+        assert_eq!(candidates(&g, l6), vec![s4], "S1 was overwritten by S4");
+    }
+}

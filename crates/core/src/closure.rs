@@ -1,0 +1,367 @@
+//! Incrementally maintained transitive closure with cycle detection.
+//!
+//! The `@` relation of the paper ("A is before B in every serialization") is
+//! built by repeatedly adding edges — local reordering edges, observation
+//! (source) edges, and Store Atomicity edges — and asking reachability
+//! questions such as "is there a store between `source(L)` and `L`?".
+//! Keeping the full strict transitive closure in per-node predecessor and
+//! successor bit sets makes every such query a constant-time bit test and
+//! keeps edge insertion at `O(n²/64)` worst case, which is ideal for the
+//! litmus-scale graphs this framework works on.
+//!
+//! Inserting an edge that would create a cycle is reported as a
+//! [`CycleError`]; a cycle in `@` means the execution is not serializable
+//! (used to discard speculative forks, paper section 5.2).
+
+use crate::bitset::BitSet;
+use crate::error::CycleError;
+use crate::ids::NodeId;
+
+/// A strict partial order over dense node indices, closed under
+/// transitivity, with incremental edge insertion and cycle detection.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::closure::Closure;
+/// use samm_core::ids::NodeId;
+///
+/// let mut c = Closure::new();
+/// let a = c.add_node();
+/// let b = c.add_node();
+/// let d = c.add_node();
+/// c.add_edge(a, b).unwrap();
+/// c.add_edge(b, d).unwrap();
+/// assert!(c.reaches(a, d));
+/// assert!(c.add_edge(d, a).is_err()); // would close a cycle
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Closure {
+    /// `succ[i]` = all `j` with `i @ j` (strict: never contains `i`).
+    succ: Vec<BitSet>,
+    /// `pred[j]` = all `i` with `i @ j` (strict).
+    pred: Vec<BitSet>,
+}
+
+impl Closure {
+    /// Creates an empty order with no nodes.
+    pub fn new() -> Self {
+        Closure::default()
+    }
+
+    /// Number of nodes in the order.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Returns `true` when the order has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds a fresh, unordered node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.succ.len());
+        self.succ.push(BitSet::new());
+        self.pred.push(BitSet::new());
+        id
+    }
+
+    /// Returns `true` when `a @ b` (strictly before; `a != b` implied).
+    #[inline]
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        self.succ[a.index()].contains(b.index())
+    }
+
+    /// Returns `true` when the two nodes are ordered either way.
+    #[inline]
+    pub fn ordered(&self, a: NodeId, b: NodeId) -> bool {
+        self.reaches(a, b) || self.reaches(b, a)
+    }
+
+    /// All strict successors of `a` (everything `a` precedes).
+    #[inline]
+    pub fn successors(&self, a: NodeId) -> &BitSet {
+        &self.succ[a.index()]
+    }
+
+    /// All strict predecessors of `a` (everything preceding `a`).
+    #[inline]
+    pub fn predecessors(&self, a: NodeId) -> &BitSet {
+        &self.pred[a.index()]
+    }
+
+    /// Inserts `from @ to` and re-closes transitively.
+    ///
+    /// Returns `Ok(true)` if any new ordering pair was added, `Ok(false)`
+    /// when the pair was already implied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when `from == to` or when `to` already reaches
+    /// `from` — i.e. the edge would make the order cyclic. The order is left
+    /// unchanged in that case.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<bool, CycleError> {
+        if from == to || self.reaches(to, from) {
+            return Err(CycleError { from, to });
+        }
+        if self.reaches(from, to) {
+            return Ok(false);
+        }
+        // New pairs: (ancestors(from) ∪ {from}) × (descendants(to) ∪ {to}).
+        let mut down = self.succ[to.index()].clone();
+        down.insert(to.index());
+        let mut up = self.pred[from.index()].clone();
+        up.insert(from.index());
+
+        for a in up.iter() {
+            self.succ[a].union_with(&down);
+        }
+        for d in down.iter() {
+            self.pred[d].union_with(&up);
+        }
+        Ok(true)
+    }
+
+    /// Common strict ancestors of `a` and `b`.
+    pub fn common_ancestors(&self, a: NodeId, b: NodeId) -> BitSet {
+        self.pred[a.index()].intersection(&self.pred[b.index()])
+    }
+
+    /// Common strict descendants of `a` and `b`.
+    pub fn common_descendants(&self, a: NodeId, b: NodeId) -> BitSet {
+        self.succ[a.index()].intersection(&self.succ[b.index()])
+    }
+
+    /// A topological order of all nodes (any one consistent with the order).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let mut emitted = BitSet::new();
+        // Kahn's algorithm on the closed relation: a node is ready when all
+        // its predecessors have been emitted. O(n²) — fine at this scale.
+        let mut remaining: Vec<usize> = (0..n).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|&i| {
+                let ready = self.pred[i].iter().all(|p| emitted.contains(p));
+                if ready {
+                    emitted.insert(i);
+                    out.push(NodeId::new(i));
+                }
+                !ready
+            });
+            assert!(remaining.len() < before, "closure contains a cycle");
+        }
+        out
+    }
+
+    /// Serializes the ordering pairs into `out` in a canonical order, using
+    /// `relabel` to map raw indices to canonical indices.
+    ///
+    /// Used by behaviour deduplication: two graphs are compared by their
+    /// closed ordering relation, not by which redundant edges happen to have
+    /// been inserted.
+    pub fn encode_pairs(&self, relabel: &[u32], out: &mut Vec<u8>) {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (i, set) in self.succ.iter().enumerate() {
+            for j in set.iter() {
+                pairs.push((relabel[i], relabel[j]));
+            }
+        }
+        pairs.sort_unstable();
+        for (a, b) in pairs {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(c: &mut Closure, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| c.add_node()).collect()
+    }
+
+    #[test]
+    fn empty_closure() {
+        let c = Closure::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.topological_order().is_empty());
+    }
+
+    #[test]
+    fn direct_edge_reaches() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 2);
+        assert_eq!(c.add_edge(v[0], v[1]), Ok(true));
+        assert!(c.reaches(v[0], v[1]));
+        assert!(!c.reaches(v[1], v[0]));
+        assert!(c.ordered(v[0], v[1]));
+    }
+
+    #[test]
+    fn transitivity_through_chain() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 4);
+        c.add_edge(v[0], v[1]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+        c.add_edge(v[2], v[3]).unwrap();
+        assert!(c.reaches(v[0], v[3]));
+        assert!(c.reaches(v[1], v[3]));
+        assert!(c.reaches(v[0], v[2]));
+    }
+
+    #[test]
+    fn linking_two_chains_closes_cross_pairs() {
+        // a0 -> a1, b0 -> b1; adding a1 -> b0 must order a0 before b1.
+        let mut c = Closure::new();
+        let v = ids(&mut c, 4);
+        c.add_edge(v[0], v[1]).unwrap();
+        c.add_edge(v[2], v[3]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+        assert!(c.reaches(v[0], v[3]));
+        assert!(c.reaches(v[0], v[2]));
+        assert!(c.reaches(v[1], v[3]));
+    }
+
+    #[test]
+    fn redundant_edge_reports_no_change() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 3);
+        c.add_edge(v[0], v[1]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+        assert_eq!(c.add_edge(v[0], v[2]), Ok(false));
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 1);
+        assert!(c.add_edge(v[0], v[0]).is_err());
+    }
+
+    #[test]
+    fn back_edge_is_detected_and_rolls_back_nothing() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 3);
+        c.add_edge(v[0], v[1]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+        let err = c.add_edge(v[2], v[0]).unwrap_err();
+        assert_eq!(err.from, v[2]);
+        assert_eq!(err.to, v[0]);
+        // Order unchanged: still exactly the old pairs.
+        assert!(c.reaches(v[0], v[2]));
+        assert!(!c.reaches(v[2], v[0]));
+        assert!(!c.reaches(v[2], v[1]));
+    }
+
+    #[test]
+    fn predecessors_and_successors_are_strict() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 3);
+        c.add_edge(v[0], v[1]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+        assert_eq!(c.successors(v[0]).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(c.predecessors(v[2]).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(!c.successors(v[0]).contains(0));
+    }
+
+    #[test]
+    fn common_ancestors_and_descendants() {
+        // Diamond: r -> a, r -> b, a -> s, b -> s.
+        let mut c = Closure::new();
+        let v = ids(&mut c, 4);
+        let (r, a, b, s) = (v[0], v[1], v[2], v[3]);
+        c.add_edge(r, a).unwrap();
+        c.add_edge(r, b).unwrap();
+        c.add_edge(a, s).unwrap();
+        c.add_edge(b, s).unwrap();
+        assert_eq!(c.common_ancestors(a, b).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            c.common_descendants(a, b).iter().collect::<Vec<_>>(),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 5);
+        c.add_edge(v[3], v[1]).unwrap();
+        c.add_edge(v[1], v[4]).unwrap();
+        c.add_edge(v[0], v[4]).unwrap();
+        let order = c.topological_order();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(v[3]) < pos(v[1]));
+        assert!(pos(v[1]) < pos(v[4]));
+        assert!(pos(v[0]) < pos(v[4]));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_dags() {
+        // Reference check: build random edge sets (forward edges only, so
+        // acyclic), compare incremental closure with Floyd–Warshall.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..20);
+            let mut c = Closure::new();
+            let v = ids(&mut c, n);
+            let mut direct = vec![vec![false; n]; n];
+            for _ in 0..rng.gen_range(0..3 * n) {
+                let i = rng.gen_range(0..n - 1);
+                let j = rng.gen_range(i + 1..n);
+                direct[i][j] = true;
+                c.add_edge(v[i], v[j]).unwrap();
+            }
+            // Floyd–Warshall reachability.
+            let mut reach = direct.clone();
+            for k in 0..n {
+                for i in 0..n {
+                    if reach[i][k] {
+                        let row_k = reach[k].clone();
+                        for (j, &through) in row_k.iter().enumerate() {
+                            if through {
+                                reach[i][j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        c.reaches(v[i], v[j]),
+                        reach[i][j],
+                        "mismatch at ({i},{j}) with n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_pairs_is_insertion_order_independent() {
+        let relabel: Vec<u32> = (0..3).collect();
+        let mut c1 = Closure::new();
+        let v1 = ids(&mut c1, 3);
+        c1.add_edge(v1[0], v1[1]).unwrap();
+        c1.add_edge(v1[1], v1[2]).unwrap();
+
+        let mut c2 = Closure::new();
+        let v2 = ids(&mut c2, 3);
+        c2.add_edge(v2[1], v2[2]).unwrap();
+        c2.add_edge(v2[0], v2[1]).unwrap();
+        c2.add_edge(v2[0], v2[2]).unwrap(); // redundant
+
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        c1.encode_pairs(&relabel, &mut b1);
+        c2.encode_pairs(&relabel, &mut b2);
+        assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Graphviz (DOT) rendering of execution graphs.
+//!
+//! Edge styling follows the paper's Figure 2 legend:
+//!
+//! * solid black — local ordering `≺` (program/data/alias edges);
+//! * bold with a dot decoration ("ringed" in print) — observation
+//!   `source(L) → L`;
+//! * dashed — Store Atomicity edges;
+//! * dotted thin — the non-speculative address-disambiguation edges;
+//! * gray — TSO bypass edges (not part of `@`).
+//!
+//! Nodes are grouped per thread into clusters, so the output of a litmus
+//! figure visually matches the paper's drawings.
+
+use std::fmt::Write as _;
+
+use crate::exec::Behavior;
+use crate::graph::{EdgeKind, ExecutionGraph};
+use crate::ids::ThreadId;
+
+/// Options for [`render`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph title (rendered as a label).
+    pub title: String,
+    /// Hide fence and compute nodes, connecting their neighbours — the
+    /// paper's "Load-Store graph" view ("all the graphs pictured in this
+    /// paper are actually Load-Store graphs; we have erased the Fence
+    /// instructions").
+    pub loads_and_stores_only: bool,
+    /// Skip `Init` edges (they clutter the picture; init nodes precede
+    /// everything by construction).
+    pub hide_init_edges: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            title: String::new(),
+            loads_and_stores_only: false,
+            hide_init_edges: true,
+        }
+    }
+}
+
+/// Renders a behaviour's execution graph as DOT.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::dot::{render, DotOptions};
+/// use samm_core::exec::Behavior;
+/// use samm_core::instr::{Instr, Program, ThreadProgram};
+/// use samm_core::policy::Policy;
+///
+/// let prog = Program::new(vec![ThreadProgram::new(vec![
+///     Instr::Store { addr: 0u64.into(), val: 1u64.into() },
+/// ])]);
+/// let mut b = Behavior::new(&prog);
+/// b.settle(&prog, &Policy::weak(), 64).unwrap();
+/// let dot = render(&b, &DotOptions::default());
+/// assert!(dot.starts_with("digraph"));
+/// ```
+pub fn render(behavior: &Behavior, options: &DotOptions) -> String {
+    render_graph(behavior.graph(), options)
+}
+
+/// Renders a raw execution graph as DOT (see [`render`]).
+pub fn render_graph(graph: &ExecutionGraph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph execution {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    if !options.title.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", escape(&options.title));
+        let _ = writeln!(out, "  labelloc=t;");
+    }
+
+    let visible = |id: crate::ids::NodeId| -> bool {
+        !options.loads_and_stores_only || graph.node(id).is_memory()
+    };
+
+    // Group nodes per thread.
+    let mut threads: Vec<ThreadId> = graph
+        .iter()
+        .map(|(_, n)| n.thread())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    threads.sort();
+    for thread in threads {
+        let members: Vec<_> = graph
+            .iter()
+            .filter(|(id, n)| n.thread() == thread && visible(*id))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        if thread.is_init() {
+            let _ = writeln!(out, "  subgraph cluster_init {{");
+            let _ = writeln!(out, "    label=\"initial memory\"; style=dotted;");
+        } else {
+            let _ = writeln!(out, "  subgraph cluster_t{} {{", thread.index());
+            let _ = writeln!(out, "    label=\"Thread {}\"; style=rounded;", thread);
+        }
+        for (id, node) in members {
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\"];",
+                id.index(),
+                escape(&node.label())
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for edge in graph.edges() {
+        if options.hide_init_edges && edge.kind == EdgeKind::Init {
+            continue;
+        }
+        if !visible(edge.from) || !visible(edge.to) {
+            continue;
+        }
+        let style = match edge.kind {
+            EdgeKind::Program | EdgeKind::Data | EdgeKind::Alias | EdgeKind::Init => "color=black",
+            EdgeKind::Source => "color=black, penwidth=2, arrowhead=odot",
+            EdgeKind::Atomicity => "color=black, style=dashed",
+            EdgeKind::AddrResolve => "color=black, style=dotted",
+            EdgeKind::Bypass => "color=gray, constraint=false",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [{} /* {} */];",
+            edge.from.index(),
+            edge.to.index(),
+            style,
+            edge.kind
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::instr::{Instr, Program, ThreadProgram};
+    use crate::policy::Policy;
+
+    fn sample() -> Behavior {
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![
+                Instr::Store {
+                    addr: 0u64.into(),
+                    val: 1u64.into(),
+                },
+                Instr::Fence,
+                Instr::Load {
+                    dst: Reg::new(0),
+                    addr: 1u64.into(),
+                },
+            ]),
+            ThreadProgram::new(vec![Instr::Store {
+                addr: 1u64.into(),
+                val: 1u64.into(),
+            }]),
+        ]);
+        let mut b = Behavior::new(&prog);
+        b.settle(&prog, &Policy::weak(), 64).unwrap();
+        b
+    }
+
+    #[test]
+    fn renders_clusters_per_thread() {
+        let dot = render(&sample(), &DotOptions::default());
+        assert!(dot.contains("cluster_t0"));
+        assert!(dot.contains("cluster_t1"));
+        assert!(dot.contains("cluster_init"));
+        assert!(dot.contains("digraph execution"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn loads_and_stores_only_erases_fences() {
+        let full = render(&sample(), &DotOptions::default());
+        assert!(full.contains("fence"));
+        let ls = render(
+            &sample(),
+            &DotOptions {
+                loads_and_stores_only: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!ls.contains("fence"));
+        assert!(ls.contains("S @0,1"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let dot = render(
+            &sample(),
+            &DotOptions {
+                title: "he said \"hi\"".to_owned(),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("he said \\\"hi\\\""));
+    }
+
+    #[test]
+    fn source_edges_render_after_resolution() {
+        let mut b = sample();
+        let l = b
+            .graph()
+            .iter()
+            .find(|(_, n)| n.is_load())
+            .map(|(id, _)| id)
+            .unwrap();
+        let c = b.candidates(l);
+        b.resolve_load(l, c[0]).unwrap();
+        let dot = render(&b, &DotOptions::default());
+        assert!(dot.contains("arrowhead=odot"), "observation edge styling");
+    }
+}

@@ -1,0 +1,597 @@
+//! Enumerating all behaviours of a program (paper section 4).
+//!
+//! "At each step, we remove a single behavior from B and refine it": run
+//! graph generation and dataflow execution to quiescence, then fork one
+//! copy per `(resolvable load, candidate store)` pair. Duplicate behaviours
+//! (same Load-Store graph) are discarded; speculative or bypass forks that
+//! violate Store Atomicity are rolled back.
+//!
+//! The result is the complete set of executions — and outcome set — of the
+//! program under the chosen memory model.
+
+use std::collections::HashSet;
+
+use crate::error::EnumError;
+use crate::exec::{Behavior, StepError};
+use crate::instr::Program;
+use crate::outcome::OutcomeSet;
+use crate::policy::Policy;
+
+/// Resource limits and switches for [`enumerate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumConfig {
+    /// Maximum number of behaviours popped from the frontier before the
+    /// enumeration aborts with [`EnumError::BehaviorLimit`].
+    pub max_behaviors: usize,
+    /// Maximum graph nodes one thread may generate (bounds loop unrolling).
+    pub max_nodes_per_thread: u32,
+    /// Discard duplicate behaviours via the canonical Load-Store-graph key.
+    /// Disabling this only costs time; the outcome set is unchanged.
+    pub dedup: bool,
+    /// Keep the complete [`Behavior`]s in the result (disable to save
+    /// memory when only outcomes matter).
+    pub keep_executions: bool,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            max_behaviors: 1_000_000,
+            max_nodes_per_thread: 256,
+            dedup: true,
+            keep_executions: true,
+        }
+    }
+}
+
+/// Counters describing an enumeration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Behaviours popped from the frontier.
+    pub explored: usize,
+    /// `(load, candidate)` forks attempted.
+    pub forks: usize,
+    /// Forks discarded as duplicates of an already-seen behaviour.
+    pub deduped: usize,
+    /// Forks rolled back because they violated Store Atomicity
+    /// (speculation/bypass only).
+    pub rolled_back: usize,
+    /// Number of distinct complete executions (Load-Store graphs).
+    pub distinct_executions: usize,
+    /// Largest node count of any behaviour's graph.
+    pub max_graph_nodes: usize,
+}
+
+/// The full result of enumerating a program's behaviours.
+#[derive(Debug, Clone, Default)]
+pub struct EnumResult {
+    /// Every distinct final outcome (register files at halt).
+    pub outcomes: OutcomeSet,
+    /// Every distinct complete execution, when
+    /// [`EnumConfig::keep_executions`] is set.
+    pub executions: Vec<Behavior>,
+    /// Run statistics.
+    pub stats: EnumStats,
+}
+
+/// A lazy stream of the complete behaviours of a program.
+///
+/// Created by [`behaviors`]; yields each distinct complete execution as it
+/// is discovered, so callers can stop early (e.g. at the first execution
+/// matching a violation condition) without paying for the full
+/// enumeration.
+#[derive(Debug)]
+pub struct Behaviors {
+    program: Program,
+    policy: Policy,
+    config: EnumConfig,
+    may_roll_back: bool,
+    frontier: Vec<Behavior>,
+    seen: HashSet<Vec<u8>>,
+    stats: EnumStats,
+    finished: bool,
+}
+
+impl Behaviors {
+    /// Statistics accumulated so far (complete once the iterator is
+    /// drained).
+    pub fn stats(&self) -> EnumStats {
+        self.stats
+    }
+}
+
+impl Iterator for Behaviors {
+    type Item = Result<Behavior, EnumError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        while let Some(behavior) = self.frontier.pop() {
+            self.stats.explored += 1;
+            if self.stats.explored > self.config.max_behaviors {
+                self.finished = true;
+                return Some(Err(EnumError::BehaviorLimit {
+                    limit: self.config.max_behaviors,
+                }));
+            }
+            self.stats.max_graph_nodes = self.stats.max_graph_nodes.max(behavior.graph().len());
+
+            if behavior.is_complete() {
+                self.stats.distinct_executions += 1;
+                return Some(Ok(behavior));
+            }
+
+            let loads = behavior.resolvable_loads();
+            if loads.is_empty() {
+                self.finished = true;
+                return Some(Err(EnumError::Stuck));
+            }
+            for load in loads {
+                for store in behavior.candidates(load) {
+                    self.stats.forks += 1;
+                    let mut fork = behavior.clone();
+                    let step = fork.resolve_load(load, store).and_then(|()| {
+                        fork.settle(
+                            &self.program,
+                            &self.policy,
+                            self.config.max_nodes_per_thread,
+                        )
+                    });
+                    match step {
+                        Ok(()) => {
+                            if self.config.dedup && !self.seen.insert(fork.canonical_key()) {
+                                self.stats.deduped += 1;
+                                continue;
+                            }
+                            self.frontier.push(fork);
+                        }
+                        Err(StepError::Inconsistent(e)) => {
+                            if self.may_roll_back {
+                                self.stats.rolled_back += 1;
+                            } else {
+                                self.finished = true;
+                                return Some(Err(EnumError::UnexpectedCycle(e)));
+                            }
+                        }
+                        Err(StepError::NodeLimit { thread, limit }) => {
+                            self.finished = true;
+                            return Some(Err(EnumError::NodeLimit { thread, limit }));
+                        }
+                    }
+                }
+            }
+        }
+        self.finished = true;
+        None
+    }
+}
+
+/// Starts a lazy enumeration of `program` under `policy`.
+///
+/// Unlike [`enumerate`], behaviours are produced on demand. Note that with
+/// [`EnumConfig::dedup`] disabled the stream may repeat equivalent
+/// executions (reached through different resolution orders); [`enumerate`]
+/// collapses those in post-processing.
+///
+/// # Errors
+///
+/// Fails immediately when the initial behaviour cannot settle (node limit
+/// or an inconsistent root).
+///
+/// # Examples
+///
+/// Find the first weak-model execution where both SB loads read 0, without
+/// enumerating the rest:
+///
+/// ```
+/// use samm_core::enumerate::{behaviors, EnumConfig};
+/// use samm_core::instr::{Instr, Program, ThreadProgram};
+/// use samm_core::ids::{Reg, Value};
+/// use samm_core::policy::Policy;
+///
+/// let t = |a: u64, b: u64| ThreadProgram::new(vec![
+///     Instr::Store { addr: a.into(), val: 1u64.into() },
+///     Instr::Load { dst: Reg::new(0), addr: b.into() },
+/// ]);
+/// let sb = Program::new(vec![t(0, 1), t(1, 0)]);
+/// let mut stream = behaviors(&sb, &Policy::weak(), &EnumConfig::default()).unwrap();
+/// let hit = stream.find(|b| {
+///     b.as_ref().is_ok_and(|b| {
+///         b.outcome().reg(0, Reg::new(0)) == Value::ZERO
+///             && b.outcome().reg(1, Reg::new(0)) == Value::ZERO
+///     })
+/// });
+/// assert!(hit.is_some());
+/// ```
+pub fn behaviors(
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+) -> Result<Behaviors, EnumError> {
+    let may_roll_back = policy.alias_speculation() || policy.has_bypass() || program.uses_rmw();
+    let mut root = Behavior::new(program);
+    match root.settle(program, policy, config.max_nodes_per_thread) {
+        Ok(()) => {}
+        Err(StepError::NodeLimit { thread, limit }) => {
+            return Err(EnumError::NodeLimit { thread, limit })
+        }
+        Err(StepError::Inconsistent(e)) => return Err(EnumError::UnexpectedCycle(e)),
+    }
+    let mut seen = HashSet::new();
+    if config.dedup {
+        seen.insert(root.canonical_key());
+    }
+    Ok(Behaviors {
+        program: program.clone(),
+        policy: policy.clone(),
+        config: config.clone(),
+        may_roll_back,
+        frontier: vec![root],
+        seen,
+        stats: EnumStats::default(),
+        finished: false,
+    })
+}
+
+/// Enumerates every behaviour of `program` under `policy`.
+///
+/// # Examples
+///
+/// Store-buffering has exactly four outcomes under a weak model and three
+/// under SC:
+///
+/// ```
+/// use samm_core::enumerate::{enumerate, EnumConfig};
+/// use samm_core::instr::{Instr, Program, ThreadProgram};
+/// use samm_core::ids::{Reg, Value};
+/// use samm_core::policy::Policy;
+///
+/// fn sb() -> Program {
+///     let t = |a: u64, b: u64| ThreadProgram::new(vec![
+///         Instr::Store { addr: a.into(), val: 1u64.into() },
+///         Instr::Load { dst: Reg::new(0), addr: b.into() },
+///     ]);
+///     Program::new(vec![t(0, 1), t(1, 0)])
+/// }
+/// let weak = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+/// let sc = enumerate(&sb(), &Policy::sequential_consistency(), &EnumConfig::default()).unwrap();
+/// assert_eq!(weak.outcomes.len(), 4);
+/// assert_eq!(sc.outcomes.len(), 3);
+/// ```
+///
+/// # Errors
+///
+/// * [`EnumError::NodeLimit`] / [`EnumError::BehaviorLimit`] when limits are
+///   exceeded;
+/// * [`EnumError::UnexpectedCycle`] when a non-speculative store-atomic
+///   model produces an inconsistent behaviour (an internal invariant
+///   violation);
+/// * [`EnumError::Stuck`] when a behaviour cannot make progress (likewise
+///   an internal invariant violation).
+pub fn enumerate(
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+) -> Result<EnumResult, EnumError> {
+    let mut stream = behaviors(program, policy, config)?;
+    let mut result = EnumResult::default();
+    for item in &mut stream {
+        let behavior = item?;
+        result.outcomes.insert(behavior.outcome());
+        if config.keep_executions {
+            result.executions.push(behavior);
+        }
+    }
+    result.stats = stream.stats();
+
+    // Without dedup, identical complete behaviours are reached through
+    // several resolution orders; collapse the count (and the kept
+    // executions) so both configurations report the same executions.
+    if !config.dedup && config.keep_executions {
+        let mut final_keys: HashSet<Vec<u8>> = HashSet::new();
+        result
+            .executions
+            .retain(|b| final_keys.insert(b.canonical_key()));
+        result.stats.distinct_executions = result.executions.len();
+    }
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Reg, Value};
+    use crate::instr::{Instr, Operand, ThreadProgram};
+    use crate::outcome::Outcome;
+
+    const X: u64 = 0;
+    const Y: u64 = 1;
+
+    fn st(a: u64, v: u64) -> Instr {
+        Instr::Store {
+            addr: a.into(),
+            val: v.into(),
+        }
+    }
+
+    fn ld(r: usize, a: u64) -> Instr {
+        Instr::Load {
+            dst: Reg::new(r),
+            addr: a.into(),
+        }
+    }
+
+    fn outcome2(a: u64, b: u64) -> Outcome {
+        Outcome::new(vec![vec![Value::new(a)], vec![Value::new(b)]])
+    }
+
+    /// Store buffering: T0 = S x,1; L y. T1 = S y,1; L x.
+    fn sb() -> Program {
+        Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), ld(0, X)]),
+        ])
+    }
+
+    /// Message passing: T0 = S x,1; S y,1. T1 = L y; L x.
+    fn mp() -> Program {
+        Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), st(Y, 1)]),
+            ThreadProgram::new(vec![ld(0, Y), ld(1, X)]),
+        ])
+    }
+
+    #[test]
+    fn sb_under_sc_forbids_zero_zero() {
+        let r = enumerate(
+            &sb(),
+            &Policy::sequential_consistency(),
+            &EnumConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes.len(), 3);
+        assert!(!r.outcomes.contains(&outcome2(0, 0)));
+        assert!(r.outcomes.contains(&outcome2(1, 1)));
+        assert!(r.outcomes.contains(&outcome2(0, 1)));
+        assert!(r.outcomes.contains(&outcome2(1, 0)));
+    }
+
+    #[test]
+    fn sb_under_weak_allows_zero_zero() {
+        let r = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert_eq!(r.outcomes.len(), 4);
+        assert!(r.outcomes.contains(&outcome2(0, 0)));
+    }
+
+    #[test]
+    fn sb_under_tso_allows_zero_zero() {
+        let r = enumerate(&sb(), &Policy::tso(), &EnumConfig::default()).unwrap();
+        assert!(
+            r.outcomes.contains(&outcome2(0, 0)),
+            "store buffering is TSO's hallmark"
+        );
+        assert_eq!(r.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn mp_under_sc_and_tso_forbids_stale_data() {
+        for policy in [Policy::sequential_consistency(), Policy::tso()] {
+            let r = enumerate(&mp(), &policy, &EnumConfig::default()).unwrap();
+            assert!(
+                !r.outcomes.contains(&Outcome::new(vec![
+                    vec![],
+                    vec![Value::new(1), Value::new(0)]
+                ])),
+                "r0=1,r1=0 must be forbidden under {}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mp_under_weak_allows_stale_data() {
+        let r = enumerate(&mp(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(r.outcomes.contains(&Outcome::new(vec![
+            vec![],
+            vec![Value::new(1), Value::new(0)]
+        ])));
+    }
+
+    #[test]
+    fn mp_with_fences_is_sc_like_under_weak() {
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), Instr::Fence, st(Y, 1)]),
+            ThreadProgram::new(vec![ld(0, Y), Instr::Fence, ld(1, X)]),
+        ]);
+        let r = enumerate(&prog, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(!r.outcomes.contains(&Outcome::new(vec![
+            vec![],
+            vec![Value::new(1), Value::new(0)]
+        ])));
+        assert_eq!(r.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn outcome_sets_nest_across_models() {
+        for prog in [sb(), mp()] {
+            let sc = enumerate(
+                &prog,
+                &Policy::sequential_consistency(),
+                &EnumConfig::default(),
+            )
+            .unwrap()
+            .outcomes;
+            let tso = enumerate(&prog, &Policy::tso(), &EnumConfig::default())
+                .unwrap()
+                .outcomes;
+            let pso = enumerate(&prog, &Policy::pso(), &EnumConfig::default())
+                .unwrap()
+                .outcomes;
+            let weak = enumerate(&prog, &Policy::weak(), &EnumConfig::default())
+                .unwrap()
+                .outcomes;
+            assert!(sc.is_subset(&tso));
+            assert!(tso.is_subset(&pso));
+            assert!(pso.is_subset(&weak));
+        }
+    }
+
+    #[test]
+    fn dedup_does_not_change_outcomes() {
+        let with = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        let without = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig {
+                dedup: false,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.outcomes, without.outcomes);
+        assert_eq!(
+            with.stats.distinct_executions,
+            without.stats.distinct_executions
+        );
+        assert!(without.stats.explored >= with.stats.explored);
+    }
+
+    #[test]
+    fn behavior_limit_is_enforced() {
+        let err = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig {
+                max_behaviors: 2,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumError::BehaviorLimit { limit: 2 });
+    }
+
+    #[test]
+    fn node_limit_propagates() {
+        let looping = Program::new(vec![ThreadProgram::new(vec![
+            st(X, 1),
+            Instr::Jump { target: 0 },
+        ])]);
+        let err = enumerate(
+            &looping,
+            &Policy::weak(),
+            &EnumConfig {
+                max_nodes_per_thread: 4,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EnumError::NodeLimit {
+                thread: 0,
+                limit: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn single_thread_program_is_deterministic() {
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            st(X, 1),
+            ld(0, X),
+            st(X, 2),
+            ld(1, X),
+        ])]);
+        for policy in [
+            Policy::sequential_consistency(),
+            Policy::tso(),
+            Policy::pso(),
+            Policy::weak(),
+            Policy::weak().with_alias_speculation(true),
+        ] {
+            let r = enumerate(&prog, &policy, &EnumConfig::default()).unwrap();
+            assert_eq!(
+                r.outcomes.len(),
+                1,
+                "single-threaded determinism under {}",
+                policy.name()
+            );
+            let o = r.outcomes.iter().next().unwrap();
+            assert_eq!(o.reg(0, Reg::new(0)), Value::new(1));
+            assert_eq!(o.reg(0, Reg::new(1)), Value::new(2));
+        }
+    }
+
+    #[test]
+    fn coherent_read_read_under_weak_allows_reordering() {
+        // CoRR: T0 = S x,1. T1 = L x; L x. Under the weak table L-L to the
+        // same address is unconstrained, so r0=1, r1=0 is observable.
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1)]),
+            ThreadProgram::new(vec![ld(0, X), ld(1, X)]),
+        ]);
+        let weak = enumerate(&prog, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(weak.outcomes.contains(&Outcome::new(vec![
+            vec![],
+            vec![Value::new(1), Value::new(0)]
+        ])));
+        let sc = enumerate(
+            &prog,
+            &Policy::sequential_consistency(),
+            &EnumConfig::default(),
+        )
+        .unwrap();
+        assert!(!sc.outcomes.contains(&Outcome::new(vec![
+            vec![],
+            vec![Value::new(1), Value::new(0)]
+        ])));
+    }
+
+    #[test]
+    fn branch_dependent_store_enumerates_both_paths() {
+        // T0: S x,1. T1: L x -> r0; bnz r0 to store-2; S y,5; halt; (2:) S y,9.
+        let t1 = ThreadProgram::new(vec![
+            ld(0, X),
+            Instr::BranchNz {
+                cond: Operand::Reg(Reg::new(0)),
+                target: 4,
+            },
+            st(Y, 5),
+            Instr::Halt,
+            st(Y, 9),
+        ]);
+        let prog = Program::new(vec![ThreadProgram::new(vec![st(X, 1)]), t1]);
+        let r = enumerate(&prog, &Policy::weak(), &EnumConfig::default()).unwrap();
+        // r0 = 0 writes y=5; r0 = 1 writes y=9. Both paths must appear.
+        assert!(r.outcomes.any(|o| o.reg(1, Reg::new(0)) == Value::ZERO));
+        assert!(r.outcomes.any(|o| o.reg(1, Reg::new(0)) == Value::new(1)));
+        assert_eq!(r.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(r.stats.explored > 0);
+        assert!(r.stats.forks > 0);
+        assert!(r.stats.distinct_executions >= r.outcomes.len());
+        assert!(r.stats.max_graph_nodes >= 6);
+        assert_eq!(r.executions.len(), r.stats.distinct_executions);
+    }
+
+    #[test]
+    fn keep_executions_off_drops_graphs() {
+        let r = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig {
+                keep_executions: false,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.executions.is_empty());
+        assert_eq!(r.outcomes.len(), 4);
+    }
+}

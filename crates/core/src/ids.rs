@@ -1,0 +1,277 @@
+//! Small identifier newtypes used throughout the crate.
+//!
+//! These exist to keep the many integer-indexed spaces (graph nodes, threads,
+//! registers, memory addresses, data values) statically distinct
+//! ([C-NEWTYPE]). All of them are cheap `Copy` types.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Index of a node in an [`ExecutionGraph`](crate::graph::ExecutionGraph).
+///
+/// Node ids are dense indices into the graph arena. They are only meaningful
+/// relative to the graph (or [`Behavior`](crate::exec::Behavior)) that issued
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::ids::NodeId;
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a program thread.
+///
+/// The distinguished value [`ThreadId::INIT`] marks the pseudo-thread that
+/// owns memory-initializing Store operations (the paper assumes "memory is
+/// initialized with Store operations before any thread is started").
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::ids::ThreadId;
+/// assert!(ThreadId::new(0) != ThreadId::INIT);
+/// assert!(ThreadId::INIT.is_init());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(u16);
+
+impl ThreadId {
+    /// The pseudo-thread owning initial-memory Store operations.
+    pub const INIT: ThreadId = ThreadId(u16::MAX);
+
+    /// Creates a thread id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` collides with the reserved [`ThreadId::INIT`] value.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        let raw = u16::try_from(index).expect("thread index exceeds u16");
+        assert!(raw != u16::MAX, "thread index collides with ThreadId::INIT");
+        ThreadId(raw)
+    }
+
+    /// Returns the dense index of this thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`ThreadId::INIT`], which has no program index.
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(!self.is_init(), "ThreadId::INIT has no program index");
+        self.0 as usize
+    }
+
+    /// Returns `true` for the initial-memory pseudo-thread.
+    #[inline]
+    pub fn is_init(self) -> bool {
+        self.0 == u16::MAX
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_init() {
+            write!(f, "init")
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+/// A (virtual) register name within one thread.
+///
+/// Registers are thread-local; the same `Reg` in two threads names two
+/// independent storage cells. Unwritten registers read as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Creates a register name from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Reg(u16::try_from(index).expect("register index exceeds u16"))
+    }
+
+    /// Returns the dense index of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A memory address.
+///
+/// The framework models a flat word-addressed memory, as the paper does
+/// ("we assumed all reads and writes accessed fixed-size, aligned words").
+/// Addresses are ordinary 64-bit data, so programs may compute them and store
+/// them to memory (pointer aliasing, paper section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from its raw word number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw word number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<Value> for Addr {
+    fn from(v: Value) -> Self {
+        Addr(v.raw())
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A 64-bit data value.
+///
+/// All arithmetic in the instruction set is wrapping, and comparison
+/// operators produce `1`/`0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(u64);
+
+impl Value {
+    /// The zero value, used for uninitialized registers and memory.
+    pub const ZERO: Value = Value(0);
+
+    /// Creates a value from raw bits.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the raw bits.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` when this value is non-zero (branch-taken condition).
+    #[inline]
+    pub const fn is_truthy(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<Addr> for Value {
+    fn from(a: Addr) -> Self {
+        Value(a.raw())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(raw: u64) -> Self {
+        Value(raw)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        for i in [0usize, 1, 17, 65_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn thread_id_init_is_distinguished() {
+        assert!(ThreadId::INIT.is_init());
+        assert!(!ThreadId::new(0).is_init());
+        assert_ne!(ThreadId::new(0), ThreadId::INIT);
+        assert_eq!(ThreadId::INIT.to_string(), "init");
+        assert_eq!(ThreadId::new(2).to_string(), "T2");
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn thread_id_rejects_reserved_index() {
+        let _ = ThreadId::new(u16::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "no program index")]
+    fn thread_id_init_has_no_index() {
+        let _ = ThreadId::INIT.index();
+    }
+
+    #[test]
+    fn value_addr_conversions() {
+        let v = Value::new(42);
+        let a = Addr::from(v);
+        assert_eq!(a.raw(), 42);
+        assert_eq!(Value::from(a), v);
+    }
+
+    #[test]
+    fn value_truthiness() {
+        assert!(!Value::ZERO.is_truthy());
+        assert!(Value::new(3).is_truthy());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Reg> = [Reg::new(2), Reg::new(0), Reg::new(1)]
+            .into_iter()
+            .collect();
+        let order: Vec<usize> = set.into_iter().map(Reg::index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Final program outcomes: the register files at halt.
+//!
+//! A litmus test's verdict is phrased over final register values ("r8 =
+//! L8 y = 2"), so the enumerator summarizes every complete behaviour as an
+//! [`Outcome`] and collects them into an [`OutcomeSet`]. Two behaviours with
+//! different execution graphs may produce the same outcome; the outcome set
+//! is what operational reference models (interleaving SC, store-buffer TSO)
+//! can be compared against.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::{Reg, Value};
+
+/// The final register file of every thread, `regs[thread][reg]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Outcome {
+    regs: Vec<Vec<Value>>,
+}
+
+impl Outcome {
+    /// Creates an outcome from per-thread register files.
+    pub fn new(regs: Vec<Vec<Value>>) -> Self {
+        Outcome { regs }
+    }
+
+    /// The value of `reg` in `thread` (zero for never-written registers
+    /// beyond the recorded file).
+    pub fn reg(&self, thread: usize, reg: Reg) -> Value {
+        self.regs
+            .get(thread)
+            .and_then(|file| file.get(reg.index()))
+            .copied()
+            .unwrap_or(Value::ZERO)
+    }
+
+    /// Number of threads recorded.
+    pub fn thread_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The register file of one thread.
+    pub fn thread_regs(&self, thread: usize) -> &[Value] {
+        self.regs.get(thread).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, file) in self.regs.iter().enumerate() {
+            if t > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "T{t}:")?;
+            if file.is_empty() {
+                write!(f, " -")?;
+            }
+            for (r, v) in file.iter().enumerate() {
+                write!(f, " r{r}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of distinct outcomes, ordered for stable display and comparison.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::outcome::{Outcome, OutcomeSet};
+/// use samm_core::ids::Value;
+///
+/// let mut set = OutcomeSet::new();
+/// set.insert(Outcome::new(vec![vec![Value::new(1)]]));
+/// set.insert(Outcome::new(vec![vec![Value::new(1)]]));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutcomeSet {
+    set: BTreeSet<Outcome>,
+}
+
+impl OutcomeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        OutcomeSet::default()
+    }
+
+    /// Inserts an outcome; returns `true` when it was new.
+    pub fn insert(&mut self, outcome: Outcome) -> bool {
+        self.set.insert(outcome)
+    }
+
+    /// Whether this exact outcome was observed.
+    pub fn contains(&self, outcome: &Outcome) -> bool {
+        self.set.contains(outcome)
+    }
+
+    /// Number of distinct outcomes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` when no outcome was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates outcomes in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Outcome> {
+        self.set.iter()
+    }
+
+    /// Returns `true` when every outcome in `self` also occurs in `other`
+    /// (behaviour-set inclusion, e.g. `SC ⊆ TSO ⊆ Weak`).
+    pub fn is_subset(&self, other: &OutcomeSet) -> bool {
+        self.set.is_subset(&other.set)
+    }
+
+    /// Outcomes present in `self` but not in `other`.
+    pub fn difference<'a>(&'a self, other: &'a OutcomeSet) -> impl Iterator<Item = &'a Outcome> {
+        self.set.difference(&other.set)
+    }
+
+    /// Whether any outcome satisfies `pred` (e.g. a litmus condition).
+    pub fn any(&self, pred: impl FnMut(&Outcome) -> bool) -> bool {
+        self.set.iter().any(pred)
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeSet {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> Self {
+        OutcomeSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Outcome> for OutcomeSet {
+    fn extend<I: IntoIterator<Item = Outcome>>(&mut self, iter: I) {
+        self.set.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a OutcomeSet {
+    type Item = &'a Outcome;
+    type IntoIter = std::collections::btree_set::Iter<'a, Outcome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.iter()
+    }
+}
+
+impl fmt::Display for OutcomeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.set.is_empty() {
+            return write!(f, "(no outcomes)");
+        }
+        for (i, o) in self.set.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> Value {
+        Value::new(x)
+    }
+
+    #[test]
+    fn reg_lookup_defaults_to_zero() {
+        let o = Outcome::new(vec![vec![v(7)]]);
+        assert_eq!(o.reg(0, Reg::new(0)), v(7));
+        assert_eq!(o.reg(0, Reg::new(5)), Value::ZERO);
+        assert_eq!(o.reg(3, Reg::new(0)), Value::ZERO);
+    }
+
+    #[test]
+    fn set_dedups_and_orders() {
+        let mut s = OutcomeSet::new();
+        assert!(s.insert(Outcome::new(vec![vec![v(2)]])));
+        assert!(s.insert(Outcome::new(vec![vec![v(1)]])));
+        assert!(!s.insert(Outcome::new(vec![vec![v(2)]])));
+        assert_eq!(s.len(), 2);
+        let firsts: Vec<Value> = s.iter().map(|o| o.reg(0, Reg::new(0))).collect();
+        assert_eq!(firsts, vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let small: OutcomeSet = [Outcome::new(vec![vec![v(1)]])].into_iter().collect();
+        let big: OutcomeSet = [
+            Outcome::new(vec![vec![v(1)]]),
+            Outcome::new(vec![vec![v(2)]]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        let diff: Vec<&Outcome> = big.difference(&small).collect();
+        assert_eq!(diff.len(), 1);
+        assert_eq!(diff[0].reg(0, Reg::new(0)), v(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        let o = Outcome::new(vec![vec![v(1), v(0)], vec![]]);
+        assert_eq!(o.to_string(), "T0: r0=1 r1=0 | T1: -");
+        assert_eq!(OutcomeSet::new().to_string(), "(no outcomes)");
+    }
+
+    #[test]
+    fn any_matches_conditions() {
+        let s: OutcomeSet = [
+            Outcome::new(vec![vec![v(0)]]),
+            Outcome::new(vec![vec![v(3)]]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(s.any(|o| o.reg(0, Reg::new(0)) == v(3)));
+        assert!(!s.any(|o| o.reg(0, Reg::new(0)) == v(9)));
+    }
+}

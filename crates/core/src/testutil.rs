@@ -1,0 +1,64 @@
+//! Shared helpers for unit tests that build execution graphs by hand.
+//!
+//! Only compiled for tests. The helpers create already-resolved stores and
+//! address-resolved loads with constant inputs, mirroring the node shapes
+//! the figures of the paper use.
+
+use crate::graph::{EdgeKind, ExecutionGraph, Input, NodeDetail};
+use crate::ids::{Addr, NodeId, Reg, ThreadId, Value};
+
+/// Adds a resolved store `S addr,val` on thread `t` at issue index `i`.
+pub(crate) fn mk_store(g: &mut ExecutionGraph, t: usize, i: u32, addr: u64, val: u64) -> NodeId {
+    let id = g.add_node(
+        ThreadId::new(t),
+        i,
+        NodeDetail::Store {
+            addr_in: Input::Const(Value::new(addr)),
+            val_in: Input::Const(Value::new(val)),
+        },
+    );
+    g.set_addr(id, Addr::new(addr));
+    g.set_value(id, Value::new(val));
+    g.mark_resolved(id);
+    id
+}
+
+/// Adds an unresolved load `L addr` on thread `t` at issue index `i`.
+pub(crate) fn mk_load(g: &mut ExecutionGraph, t: usize, i: u32, addr: u64) -> NodeId {
+    let id = g.add_node(
+        ThreadId::new(t),
+        i,
+        NodeDetail::Load {
+            addr_in: Input::Const(Value::new(addr)),
+            dst: Reg::new(0),
+        },
+    );
+    g.set_addr(id, Addr::new(addr));
+    id
+}
+
+/// Adds an init store for `addr` ordered before every existing node.
+pub(crate) fn mk_init(g: &mut ExecutionGraph, index: u32, addr: u64, val: u64) -> NodeId {
+    let id = g.add_init_store(index, Addr::new(addr), Value::new(val));
+    let others: Vec<NodeId> = g
+        .iter()
+        .filter(|(other, n)| *other != id && !n.is_init())
+        .map(|(other, _)| other)
+        .collect();
+    for other in others {
+        g.add_edge(id, other, EdgeKind::Init).expect("init edge");
+    }
+    id
+}
+
+/// Adds a local-ordering edge `a ≺ b`.
+pub(crate) fn order(g: &mut ExecutionGraph, a: NodeId, b: NodeId) {
+    g.add_edge(a, b, EdgeKind::Program).expect("program edge");
+}
+
+/// Resolves `load` against `source` with an observation edge.
+pub(crate) fn observe(g: &mut ExecutionGraph, source: NodeId, load: NodeId) {
+    g.set_source(load, source, false);
+    g.add_edge(source, load, EdgeKind::Source)
+        .expect("source edge");
+}

@@ -1,0 +1,745 @@
+//! Symbolic litmus-test representation and compilation.
+//!
+//! Litmus tests are written against *named* memory locations (`x`, `y`),
+//! named registers (`r0`, `flag`), and labels — the shapes the paper's
+//! figures use. [`LitmusTest::compile`] lowers a test onto the core
+//! instruction set, assigning dense addresses and register indices, and
+//! produces [`CompiledLitmus`] with enough metadata to evaluate outcome
+//! conditions.
+
+use std::collections::BTreeMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+use samm_core::ids::{Addr, Reg, Value};
+use samm_core::instr::{BinOp, Instr, Operand, Program, ThreadProgram};
+use samm_core::outcome::{Outcome, OutcomeSet};
+
+/// A symbolic operand: a named register, a literal, or the address of a
+/// named location (for pointer tests such as the paper's Figure 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymOperand {
+    /// A named, thread-local register.
+    Reg(String),
+    /// A literal value.
+    Imm(u64),
+    /// The address assigned to a named location.
+    AddrOf(String),
+}
+
+impl SymOperand {
+    /// Shorthand for a register operand.
+    pub fn reg(name: impl Into<String>) -> Self {
+        SymOperand::Reg(name.into())
+    }
+
+    /// Shorthand for an address-of operand.
+    pub fn addr_of(name: impl Into<String>) -> Self {
+        SymOperand::AddrOf(name.into())
+    }
+}
+
+impl From<u64> for SymOperand {
+    fn from(v: u64) -> Self {
+        SymOperand::Imm(v)
+    }
+}
+
+/// A symbolic instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SymInstr {
+    /// `dst := src` (register renaming).
+    Mov {
+        /// Destination register name.
+        dst: String,
+        /// Source operand.
+        src: SymOperand,
+    },
+    /// `dst := op(lhs, rhs)`.
+    Binop {
+        /// Destination register name.
+        dst: String,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: SymOperand,
+        /// Right operand.
+        rhs: SymOperand,
+    },
+    /// `dst := Mem[addr]`.
+    Load {
+        /// Destination register name.
+        dst: String,
+        /// Address operand (a location name via [`SymOperand::AddrOf`] or a
+        /// register holding a pointer).
+        addr: SymOperand,
+    },
+    /// `Mem[addr] := val`.
+    Store {
+        /// Address operand.
+        addr: SymOperand,
+        /// Value operand.
+        val: SymOperand,
+    },
+    /// Atomic read-modify-write: `dst := old; Mem[addr] := f(old, src)`.
+    Rmw {
+        /// Destination register name (receives the old value).
+        dst: String,
+        /// Address operand.
+        addr: SymOperand,
+        /// The flavour, with CAS carrying its comparison operand.
+        op: SymRmwOp,
+        /// The combined/replacing operand.
+        src: SymOperand,
+    },
+    /// Memory fence.
+    Fence,
+    /// Branch to `label` when `cond` is non-zero.
+    Branch {
+        /// Condition operand.
+        cond: SymOperand,
+        /// Target label.
+        label: String,
+    },
+    /// Unconditional jump to `label`.
+    Goto {
+        /// Target label.
+        label: String,
+    },
+    /// A label definition (binds to the next real instruction).
+    Label(String),
+    /// Stop the thread.
+    Halt,
+}
+
+/// Symbolic read-modify-write flavour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymRmwOp {
+    /// Unconditional exchange.
+    Swap,
+    /// Atomic fetch-and-add.
+    FetchAdd,
+    /// Compare-and-swap with the given expected value.
+    Cas(SymOperand),
+}
+
+/// One thread of a litmus test.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymThread {
+    /// Display name (`P0`, `A`, ...).
+    pub name: String,
+    /// The symbolic instruction sequence.
+    pub instrs: Vec<SymInstr>,
+}
+
+/// Whether a condition describes an allowed or a forbidden outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondKind {
+    /// The outcome is expected to be observable.
+    Allowed,
+    /// The outcome must never be observable.
+    Forbidden,
+}
+
+impl fmt::Display for CondKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondKind::Allowed => write!(f, "allow"),
+            CondKind::Forbidden => write!(f, "forbid"),
+        }
+    }
+}
+
+/// A conjunction of register-value clauses over the final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// Baseline classification (used by parsers; catalog entries attach
+    /// per-model verdicts separately).
+    pub kind: CondKind,
+    /// `(thread index, register name, expected value)` clauses.
+    pub clauses: Vec<(usize, String, SymOperand)>,
+}
+
+/// A complete symbolic litmus test.
+#[derive(Debug, Clone, Default)]
+pub struct LitmusTest {
+    /// Test name (`SB`, `fig3`, ...).
+    pub name: String,
+    /// The threads.
+    pub threads: Vec<SymThread>,
+    /// Non-zero initial values: `(location, value)`; the value may be the
+    /// address of another location (pointer initialization).
+    pub init: Vec<(String, SymOperand)>,
+    /// Outcome conditions.
+    pub conditions: Vec<Condition>,
+}
+
+/// Errors raised while compiling a symbolic test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LitmusError {
+    /// A branch or goto names an unknown label.
+    UnknownLabel {
+        /// Thread index.
+        thread: usize,
+        /// The missing label.
+        label: String,
+    },
+    /// The same label is defined twice in one thread.
+    DuplicateLabel {
+        /// Thread index.
+        thread: usize,
+        /// The duplicated label.
+        label: String,
+    },
+    /// A condition references a thread index that does not exist.
+    BadThread {
+        /// The out-of-range index.
+        thread: usize,
+    },
+    /// A condition references a register never used by the thread.
+    UnknownRegister {
+        /// Thread index.
+        thread: usize,
+        /// The unknown register name.
+        register: String,
+    },
+    /// A register operand is used in a context that requires a value but
+    /// the register was never defined — reads as zero, so this is only a
+    /// warning-level condition, kept as an error variant for strict mode.
+    InitNotLiteral {
+        /// The offending location name.
+        location: String,
+    },
+}
+
+impl fmt::Display for LitmusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitmusError::UnknownLabel { thread, label } => {
+                write!(f, "thread {thread}: unknown label `{label}`")
+            }
+            LitmusError::DuplicateLabel { thread, label } => {
+                write!(f, "thread {thread}: duplicate label `{label}`")
+            }
+            LitmusError::BadThread { thread } => {
+                write!(f, "condition references missing thread {thread}")
+            }
+            LitmusError::UnknownRegister { thread, register } => {
+                write!(
+                    f,
+                    "condition references unknown register {register} of thread {thread}"
+                )
+            }
+            LitmusError::InitNotLiteral { location } => {
+                write!(
+                    f,
+                    "initial value of `{location}` must be a literal or address"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for LitmusError {}
+
+/// A compiled condition with resolved registers and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledCondition {
+    /// Baseline classification.
+    pub kind: CondKind,
+    /// `(thread, register, value)` clauses.
+    pub clauses: Vec<(usize, Reg, Value)>,
+    /// Human-readable rendering (`P0:r0=1 & P1:r0=0`).
+    pub text: String,
+}
+
+impl CompiledCondition {
+    /// Whether a single outcome satisfies every clause.
+    pub fn matches(&self, outcome: &Outcome) -> bool {
+        self.clauses.iter().all(|&(t, r, v)| outcome.reg(t, r) == v)
+    }
+
+    /// Whether any outcome in the set satisfies the condition.
+    pub fn observable_in(&self, outcomes: &OutcomeSet) -> bool {
+        outcomes.any(|o| self.matches(o))
+    }
+}
+
+impl fmt::Display for CompiledCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.text)
+    }
+}
+
+/// A litmus test lowered onto the core instruction set.
+#[derive(Debug, Clone)]
+pub struct CompiledLitmus {
+    /// Test name.
+    pub name: String,
+    /// The executable program.
+    pub program: Program,
+    /// Location-name → address mapping.
+    pub addr_of: BTreeMap<String, Addr>,
+    /// Per-thread register-name → register mapping.
+    pub regs: Vec<BTreeMap<String, Reg>>,
+    /// Compiled conditions, in declaration order.
+    pub conditions: Vec<CompiledCondition>,
+}
+
+impl CompiledLitmus {
+    /// The address assigned to a location name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the location does not appear in the test.
+    pub fn addr(&self, location: &str) -> Addr {
+        self.addr_of[location]
+    }
+
+    /// The register assigned to `name` in `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register does not appear in the thread.
+    pub fn reg(&self, thread: usize, name: &str) -> Reg {
+        self.regs[thread][name]
+    }
+}
+
+/// Name-resolution state shared by the compilation passes.
+struct Resolver {
+    addrs: BTreeMap<String, Addr>,
+    next_addr: u64,
+}
+
+impl Resolver {
+    fn addr(&mut self, name: &str) -> Addr {
+        if let Some(&a) = self.addrs.get(name) {
+            return a;
+        }
+        let a = Addr::new(self.next_addr);
+        self.next_addr += 1;
+        self.addrs.insert(name.to_owned(), a);
+        a
+    }
+}
+
+struct ThreadCompiler {
+    regs: BTreeMap<String, Reg>,
+    next_reg: usize,
+}
+
+impl ThreadCompiler {
+    fn reg(&mut self, name: &str) -> Reg {
+        if let Some(&r) = self.regs.get(name) {
+            return r;
+        }
+        let r = Reg::new(self.next_reg);
+        self.next_reg += 1;
+        self.regs.insert(name.to_owned(), r);
+        r
+    }
+
+    fn operand(&mut self, resolver: &mut Resolver, op: &SymOperand) -> Operand {
+        match op {
+            SymOperand::Reg(name) => Operand::Reg(self.reg(name)),
+            SymOperand::Imm(v) => Operand::Imm(Value::new(*v)),
+            SymOperand::AddrOf(name) => Operand::Imm(Value::from(resolver.addr(name))),
+        }
+    }
+}
+
+impl LitmusTest {
+    /// Compiles the symbolic test down to a [`Program`] plus metadata.
+    ///
+    /// Locations are assigned dense addresses in order of first
+    /// appearance; registers likewise per thread. Labels bind to the
+    /// instruction that follows them (a trailing label means "halt").
+    ///
+    /// # Errors
+    ///
+    /// See [`LitmusError`].
+    pub fn compile(&self) -> Result<CompiledLitmus, LitmusError> {
+        let mut resolver = Resolver {
+            addrs: BTreeMap::new(),
+            next_addr: 0,
+        };
+
+        // Resolve init first so that explicitly initialized locations get
+        // the lowest addresses (stable across edits to thread bodies).
+        let mut init_pairs: Vec<(Addr, Value)> = Vec::new();
+        for (location, value) in &self.init {
+            let addr = resolver.addr(location);
+            let value = match value {
+                SymOperand::Imm(v) => Value::new(*v),
+                SymOperand::AddrOf(name) => Value::from(resolver.addr(name)),
+                SymOperand::Reg(_) => {
+                    return Err(LitmusError::InitNotLiteral {
+                        location: location.clone(),
+                    })
+                }
+            };
+            init_pairs.push((addr, value));
+        }
+
+        let mut threads = Vec::with_capacity(self.threads.len());
+        let mut reg_maps = Vec::with_capacity(self.threads.len());
+        for (t, thread) in self.threads.iter().enumerate() {
+            let mut tc = ThreadCompiler {
+                regs: BTreeMap::new(),
+                next_reg: 0,
+            };
+            // Pass 1: label → instruction index (labels occupy no slot).
+            let mut labels: BTreeMap<&str, usize> = BTreeMap::new();
+            let mut index = 0usize;
+            for instr in &thread.instrs {
+                if let SymInstr::Label(name) = instr {
+                    if labels.insert(name, index).is_some() {
+                        return Err(LitmusError::DuplicateLabel {
+                            thread: t,
+                            label: name.clone(),
+                        });
+                    }
+                } else {
+                    index += 1;
+                }
+            }
+            let lookup = |label: &String| -> Result<usize, LitmusError> {
+                labels
+                    .get(label.as_str())
+                    .copied()
+                    .ok_or_else(|| LitmusError::UnknownLabel {
+                        thread: t,
+                        label: label.clone(),
+                    })
+            };
+
+            // Pass 2: emit.
+            let mut instrs = Vec::with_capacity(index);
+            for instr in &thread.instrs {
+                match instr {
+                    SymInstr::Label(_) => {}
+                    SymInstr::Mov { dst, src } => {
+                        let src = tc.operand(&mut resolver, src);
+                        let dst = tc.reg(dst);
+                        instrs.push(Instr::Mov { dst, src });
+                    }
+                    SymInstr::Binop { dst, op, lhs, rhs } => {
+                        let lhs = tc.operand(&mut resolver, lhs);
+                        let rhs = tc.operand(&mut resolver, rhs);
+                        let dst = tc.reg(dst);
+                        instrs.push(Instr::Binop {
+                            dst,
+                            op: *op,
+                            lhs,
+                            rhs,
+                        });
+                    }
+                    SymInstr::Load { dst, addr } => {
+                        let addr = tc.operand(&mut resolver, addr);
+                        let dst = tc.reg(dst);
+                        instrs.push(Instr::Load { dst, addr });
+                    }
+                    SymInstr::Store { addr, val } => {
+                        let addr = tc.operand(&mut resolver, addr);
+                        let val = tc.operand(&mut resolver, val);
+                        instrs.push(Instr::Store { addr, val });
+                    }
+                    SymInstr::Rmw { dst, addr, op, src } => {
+                        let addr = tc.operand(&mut resolver, addr);
+                        let src = tc.operand(&mut resolver, src);
+                        let op = match op {
+                            SymRmwOp::Swap => samm_core::instr::RmwOp::Swap,
+                            SymRmwOp::FetchAdd => samm_core::instr::RmwOp::FetchAdd,
+                            SymRmwOp::Cas(expect) => samm_core::instr::RmwOp::Cas {
+                                expect: tc.operand(&mut resolver, expect),
+                            },
+                        };
+                        let dst = tc.reg(dst);
+                        instrs.push(Instr::Rmw { dst, addr, op, src });
+                    }
+                    SymInstr::Fence => instrs.push(Instr::Fence),
+                    SymInstr::Branch { cond, label } => {
+                        let cond = tc.operand(&mut resolver, cond);
+                        let target = lookup(label)?;
+                        instrs.push(Instr::BranchNz { cond, target });
+                    }
+                    SymInstr::Goto { label } => {
+                        let target = lookup(label)?;
+                        instrs.push(Instr::Jump { target });
+                    }
+                    SymInstr::Halt => instrs.push(Instr::Halt),
+                }
+            }
+            threads.push(ThreadProgram::new(instrs));
+            reg_maps.push(tc.regs);
+        }
+
+        // Conditions.
+        let mut conditions = Vec::with_capacity(self.conditions.len());
+        for cond in &self.conditions {
+            let mut clauses = Vec::with_capacity(cond.clauses.len());
+            let mut text = String::new();
+            for (i, (thread, reg_name, value)) in cond.clauses.iter().enumerate() {
+                let reg_map = reg_maps
+                    .get(*thread)
+                    .ok_or(LitmusError::BadThread { thread: *thread })?;
+                let reg =
+                    reg_map
+                        .get(reg_name)
+                        .copied()
+                        .ok_or_else(|| LitmusError::UnknownRegister {
+                            thread: *thread,
+                            register: reg_name.clone(),
+                        })?;
+                let value = match value {
+                    SymOperand::Imm(v) => Value::new(*v),
+                    SymOperand::AddrOf(name) => Value::from(resolver.addr(name)),
+                    SymOperand::Reg(r) => {
+                        return Err(LitmusError::UnknownRegister {
+                            thread: *thread,
+                            register: r.clone(),
+                        })
+                    }
+                };
+                if i > 0 {
+                    text.push_str(" & ");
+                }
+                let _ = fmt::Write::write_fmt(
+                    &mut text,
+                    format_args!("P{thread}:{reg_name}={}", value),
+                );
+                clauses.push((*thread, reg, value));
+            }
+            conditions.push(CompiledCondition {
+                kind: cond.kind,
+                clauses,
+                text,
+            });
+        }
+
+        let mut init_map = BTreeMap::new();
+        for (addr, value) in init_pairs {
+            init_map.insert(addr, value);
+        }
+        Ok(CompiledLitmus {
+            name: self.name.clone(),
+            program: Program::with_init(threads, init_map),
+            addr_of: resolver.addrs,
+            regs: reg_maps,
+            conditions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_test() -> LitmusTest {
+        LitmusTest {
+            name: "demo".into(),
+            threads: vec![
+                SymThread {
+                    name: "P0".into(),
+                    instrs: vec![
+                        SymInstr::Store {
+                            addr: SymOperand::addr_of("x"),
+                            val: 1.into(),
+                        },
+                        SymInstr::Load {
+                            dst: "r0".into(),
+                            addr: SymOperand::addr_of("y"),
+                        },
+                    ],
+                },
+                SymThread {
+                    name: "P1".into(),
+                    instrs: vec![
+                        SymInstr::Store {
+                            addr: SymOperand::addr_of("y"),
+                            val: 1.into(),
+                        },
+                        SymInstr::Load {
+                            dst: "r0".into(),
+                            addr: SymOperand::addr_of("x"),
+                        },
+                    ],
+                },
+            ],
+            init: vec![],
+            conditions: vec![Condition {
+                kind: CondKind::Forbidden,
+                clauses: vec![(0, "r0".into(), 0.into()), (1, "r0".into(), 0.into())],
+            }],
+        }
+    }
+
+    #[test]
+    fn compiles_addresses_in_first_appearance_order() {
+        let c = simple_test().compile().unwrap();
+        assert_eq!(c.addr("x"), Addr::new(0));
+        assert_eq!(c.addr("y"), Addr::new(1));
+        assert_eq!(c.program.threads().len(), 2);
+        assert_eq!(c.reg(0, "r0"), Reg::new(0));
+    }
+
+    #[test]
+    fn condition_text_and_matching() {
+        let c = simple_test().compile().unwrap();
+        let cond = &c.conditions[0];
+        assert_eq!(cond.text, "P0:r0=0 & P1:r0=0");
+        let hit = Outcome::new(vec![vec![Value::ZERO], vec![Value::ZERO]]);
+        let miss = Outcome::new(vec![vec![Value::new(1)], vec![Value::ZERO]]);
+        assert!(cond.matches(&hit));
+        assert!(!cond.matches(&miss));
+    }
+
+    #[test]
+    fn labels_resolve_and_skip_slots() {
+        let t = LitmusTest {
+            name: "loop".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![
+                    SymInstr::Branch {
+                        cond: 1.into(),
+                        label: "end".into(),
+                    },
+                    SymInstr::Store {
+                        addr: SymOperand::addr_of("x"),
+                        val: 1.into(),
+                    },
+                    SymInstr::Label("end".into()),
+                    SymInstr::Fence,
+                ],
+            }],
+            init: vec![],
+            conditions: vec![],
+        };
+        let c = t.compile().unwrap();
+        let instrs = c.program.threads()[0].instrs();
+        assert_eq!(instrs.len(), 3, "the label takes no slot");
+        assert!(matches!(instrs[0], Instr::BranchNz { target: 2, .. }));
+    }
+
+    #[test]
+    fn trailing_label_means_halt() {
+        let t = LitmusTest {
+            name: "t".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![
+                    SymInstr::Goto {
+                        label: "end".into(),
+                    },
+                    SymInstr::Label("end".into()),
+                ],
+            }],
+            init: vec![],
+            conditions: vec![],
+        };
+        let c = t.compile().unwrap();
+        assert!(matches!(
+            c.program.threads()[0].instrs()[0],
+            Instr::Jump { target: 1 }
+        ));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let t = LitmusTest {
+            name: "t".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![SymInstr::Goto {
+                    label: "nowhere".into(),
+                }],
+            }],
+            init: vec![],
+            conditions: vec![],
+        };
+        assert!(matches!(
+            t.compile(),
+            Err(LitmusError::UnknownLabel { thread: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let t = LitmusTest {
+            name: "t".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![
+                    SymInstr::Label("a".into()),
+                    SymInstr::Fence,
+                    SymInstr::Label("a".into()),
+                ],
+            }],
+            init: vec![],
+            conditions: vec![],
+        };
+        assert!(matches!(
+            t.compile(),
+            Err(LitmusError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_errors() {
+        let mut t = simple_test();
+        t.conditions = vec![Condition {
+            kind: CondKind::Allowed,
+            clauses: vec![(7, "r0".into(), 0.into())],
+        }];
+        assert!(matches!(
+            t.compile(),
+            Err(LitmusError::BadThread { thread: 7 })
+        ));
+        t.conditions = vec![Condition {
+            kind: CondKind::Allowed,
+            clauses: vec![(0, "zz".into(), 0.into())],
+        }];
+        assert!(matches!(
+            t.compile(),
+            Err(LitmusError::UnknownRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn pointer_init_resolves_addresses() {
+        let t = LitmusTest {
+            name: "ptr".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![SymInstr::Load {
+                    dst: "r0".into(),
+                    addr: SymOperand::addr_of("p"),
+                }],
+            }],
+            init: vec![("p".into(), SymOperand::addr_of("y"))],
+            conditions: vec![],
+        };
+        let c = t.compile().unwrap();
+        let p = c.addr("p");
+        let y = c.addr("y");
+        assert_eq!(c.program.initial_value(p), Value::from(y));
+    }
+
+    #[test]
+    fn init_rejects_register_values() {
+        let t = LitmusTest {
+            name: "bad".into(),
+            threads: vec![],
+            init: vec![("x".into(), SymOperand::reg("r0"))],
+            conditions: vec![],
+        };
+        assert!(matches!(
+            t.compile(),
+            Err(LitmusError::InitNotLiteral { .. })
+        ));
+    }
+}

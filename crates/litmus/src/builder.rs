@@ -1,0 +1,416 @@
+//! Fluent construction of litmus tests.
+//!
+//! The builder mirrors how the paper's figures are written: per-thread
+//! instruction columns over named locations, with conditions on the final
+//! register values.
+//!
+//! # Examples
+//!
+//! Store buffering in six lines:
+//!
+//! ```
+//! use samm_litmus::builder::LitmusBuilder;
+//!
+//! let test = LitmusBuilder::new("SB")
+//!     .thread("P0", |t| { t.store("x", 1).load("r0", "y"); })
+//!     .thread("P1", |t| { t.store("y", 1).load("r0", "x"); })
+//!     .forbid(&[("P0", "r0", 0), ("P1", "r0", 0)])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(test.program.threads().len(), 2);
+//! ```
+
+use samm_core::instr::BinOp;
+
+use crate::ast::{
+    CompiledLitmus, CondKind, Condition, LitmusError, LitmusTest, SymInstr, SymOperand, SymRmwOp,
+    SymThread,
+};
+
+/// Builder for one thread's instruction sequence.
+///
+/// All methods return `&mut Self` for chaining. Location arguments name
+/// memory cells; register arguments name thread-local registers.
+#[derive(Debug, Default)]
+pub struct ThreadBuilder {
+    name: String,
+    instrs: Vec<SymInstr>,
+}
+
+impl ThreadBuilder {
+    /// `Mem[location] := value`.
+    pub fn store(&mut self, location: &str, value: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Store {
+            addr: SymOperand::addr_of(location),
+            val: value.into(),
+        });
+        self
+    }
+
+    /// `Mem[location] := &pointee` — store the *address* of another
+    /// location (pointer publication).
+    pub fn store_addr_of(&mut self, location: &str, pointee: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Store {
+            addr: SymOperand::addr_of(location),
+            val: SymOperand::addr_of(pointee),
+        });
+        self
+    }
+
+    /// `Mem[location] := reg`.
+    pub fn store_reg(&mut self, location: &str, reg: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Store {
+            addr: SymOperand::addr_of(location),
+            val: SymOperand::reg(reg),
+        });
+        self
+    }
+
+    /// `Mem[*pointer_reg] := value` — store through a pointer held in a
+    /// register (the paper's `S7 r6,7`).
+    pub fn store_via(&mut self, pointer_reg: &str, value: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Store {
+            addr: SymOperand::reg(pointer_reg),
+            val: value.into(),
+        });
+        self
+    }
+
+    /// `reg := Mem[location]`.
+    pub fn load(&mut self, reg: &str, location: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Load {
+            dst: reg.into(),
+            addr: SymOperand::addr_of(location),
+        });
+        self
+    }
+
+    /// `reg := Mem[*pointer_reg]` — load through a pointer register.
+    pub fn load_via(&mut self, reg: &str, pointer_reg: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Load {
+            dst: reg.into(),
+            addr: SymOperand::reg(pointer_reg),
+        });
+        self
+    }
+
+    /// `dst := old; Mem[location] := new if old == expect` — atomic
+    /// compare-and-swap. `dst` receives the *old* value; the store happens
+    /// only on success.
+    pub fn cas(&mut self, dst: &str, location: &str, expect: u64, new: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Rmw {
+            dst: dst.into(),
+            addr: SymOperand::addr_of(location),
+            op: SymRmwOp::Cas(expect.into()),
+            src: new.into(),
+        });
+        self
+    }
+
+    /// `dst := old; Mem[location] := value` — atomic exchange.
+    pub fn swap(&mut self, dst: &str, location: &str, value: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Rmw {
+            dst: dst.into(),
+            addr: SymOperand::addr_of(location),
+            op: SymRmwOp::Swap,
+            src: value.into(),
+        });
+        self
+    }
+
+    /// `dst := old; Mem[location] := old + delta` — atomic fetch-and-add.
+    pub fn fetch_add(&mut self, dst: &str, location: &str, delta: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Rmw {
+            dst: dst.into(),
+            addr: SymOperand::addr_of(location),
+            op: SymRmwOp::FetchAdd,
+            src: delta.into(),
+        });
+        self
+    }
+
+    /// A memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.instrs.push(SymInstr::Fence);
+        self
+    }
+
+    /// `dst := value`.
+    pub fn mov(&mut self, dst: &str, value: u64) -> &mut Self {
+        self.instrs.push(SymInstr::Mov {
+            dst: dst.into(),
+            src: value.into(),
+        });
+        self
+    }
+
+    /// `dst := op(lhs, rhs)` over arbitrary symbolic operands.
+    pub fn binop(&mut self, dst: &str, op: BinOp, lhs: SymOperand, rhs: SymOperand) -> &mut Self {
+        self.instrs.push(SymInstr::Binop {
+            dst: dst.into(),
+            op,
+            lhs,
+            rhs,
+        });
+        self
+    }
+
+    /// Branch to `label` when `cond_reg` is non-zero.
+    pub fn branch_nz(&mut self, cond_reg: &str, label: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Branch {
+            cond: SymOperand::reg(cond_reg),
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn goto(&mut self, label: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Goto {
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        self.instrs.push(SymInstr::Label(label.into()));
+        self
+    }
+
+    /// Stops the thread early.
+    pub fn halt(&mut self) -> &mut Self {
+        self.instrs.push(SymInstr::Halt);
+        self
+    }
+
+    /// Pushes a raw symbolic instruction.
+    pub fn raw(&mut self, instr: SymInstr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+}
+
+/// Builder for a whole litmus test.
+#[derive(Debug, Default)]
+pub struct LitmusBuilder {
+    test: LitmusTest,
+    thread_names: Vec<String>,
+}
+
+impl LitmusBuilder {
+    /// Starts a new test.
+    pub fn new(name: impl Into<String>) -> Self {
+        LitmusBuilder {
+            test: LitmusTest {
+                name: name.into(),
+                ..LitmusTest::default()
+            },
+            thread_names: Vec::new(),
+        }
+    }
+
+    /// Sets the initial value of a location (default is zero).
+    #[must_use]
+    pub fn init(mut self, location: &str, value: u64) -> Self {
+        self.test.init.push((location.into(), value.into()));
+        self
+    }
+
+    /// Initializes a location with the *address* of another location.
+    #[must_use]
+    pub fn init_addr_of(mut self, location: &str, pointee: &str) -> Self {
+        self.test
+            .init
+            .push((location.into(), SymOperand::addr_of(pointee)));
+        self
+    }
+
+    /// Adds a thread, built inside the closure.
+    #[must_use]
+    pub fn thread(mut self, name: &str, f: impl FnOnce(&mut ThreadBuilder)) -> Self {
+        let mut tb = ThreadBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+        };
+        f(&mut tb);
+        self.thread_names.push(tb.name.clone());
+        self.test.threads.push(SymThread {
+            name: tb.name,
+            instrs: tb.instrs,
+        });
+        self
+    }
+
+    fn condition(mut self, kind: CondKind, clauses: &[(&str, &str, u64)]) -> Self {
+        let resolved = clauses
+            .iter()
+            .map(|&(thread, reg, value)| {
+                let idx = self
+                    .thread_names
+                    .iter()
+                    .position(|n| n == thread)
+                    .unwrap_or(usize::MAX);
+                (idx, reg.to_owned(), SymOperand::Imm(value))
+            })
+            .collect();
+        self.test.conditions.push(Condition {
+            kind,
+            clauses: resolved,
+        });
+        self
+    }
+
+    /// Adds a forbidden-outcome condition: `(thread name, register, value)`
+    /// clauses, all of which must hold.
+    #[must_use]
+    pub fn forbid(self, clauses: &[(&str, &str, u64)]) -> Self {
+        self.condition(CondKind::Forbidden, clauses)
+    }
+
+    /// Adds an allowed-outcome condition.
+    #[must_use]
+    pub fn allow(self, clauses: &[(&str, &str, u64)]) -> Self {
+        self.condition(CondKind::Allowed, clauses)
+    }
+
+    /// Adds a condition whose expected value is the *address* of a
+    /// location (pointer-valued registers, Figure 8's `r6 = z`).
+    #[must_use]
+    pub fn allow_with_addr(
+        mut self,
+        clauses: &[(&str, &str, u64)],
+        addr_clause: (&str, &str, &str),
+    ) -> Self {
+        let mut resolved: Vec<(usize, String, SymOperand)> = clauses
+            .iter()
+            .map(|&(thread, reg, value)| {
+                let idx = self
+                    .thread_names
+                    .iter()
+                    .position(|n| n == thread)
+                    .unwrap_or(usize::MAX);
+                (idx, reg.to_owned(), SymOperand::Imm(value))
+            })
+            .collect();
+        let (thread, reg, loc) = addr_clause;
+        let idx = self
+            .thread_names
+            .iter()
+            .position(|n| n == thread)
+            .unwrap_or(usize::MAX);
+        resolved.push((idx, reg.to_owned(), SymOperand::addr_of(loc)));
+        self.test.conditions.push(Condition {
+            kind: CondKind::Allowed,
+            clauses: resolved,
+        });
+        self
+    }
+
+    /// The symbolic test (for inspection or re-serialization).
+    pub fn symbolic(&self) -> &LitmusTest {
+        &self.test
+    }
+
+    /// Compiles the test.
+    ///
+    /// # Errors
+    ///
+    /// See [`LitmusError`].
+    pub fn build(self) -> Result<CompiledLitmus, LitmusError> {
+        self.test.compile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::enumerate::{enumerate, EnumConfig};
+    use samm_core::policy::Policy;
+
+    #[test]
+    fn builds_and_runs_sb() {
+        let test = LitmusBuilder::new("SB")
+            .thread("P0", |t| {
+                t.store("x", 1).load("r0", "y");
+            })
+            .thread("P1", |t| {
+                t.store("y", 1).load("r0", "x");
+            })
+            .forbid(&[("P0", "r0", 0), ("P1", "r0", 0)])
+            .build()
+            .unwrap();
+        let sc = enumerate(
+            &test.program,
+            &Policy::sequential_consistency(),
+            &EnumConfig::default(),
+        )
+        .unwrap();
+        assert!(!test.conditions[0].observable_in(&sc.outcomes));
+        let weak = enumerate(&test.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(test.conditions[0].observable_in(&weak.outcomes));
+    }
+
+    #[test]
+    fn branches_and_labels_compose() {
+        let test = LitmusBuilder::new("guard")
+            .thread("P0", |t| {
+                t.load("r0", "flag")
+                    .branch_nz("r0", "have")
+                    .mov("r1", 99)
+                    .goto("end")
+                    .label("have")
+                    .load("r1", "data")
+                    .label("end");
+            })
+            .build()
+            .unwrap();
+        assert_eq!(test.program.threads()[0].instrs().len(), 5);
+    }
+
+    #[test]
+    fn pointer_helpers_produce_pointer_code() {
+        let test = LitmusBuilder::new("ptr")
+            .init_addr_of("p", "y")
+            .thread("P0", |t| {
+                t.load("r0", "p").store_via("r0", 7).load("r1", "y");
+            })
+            .build()
+            .unwrap();
+        let r = enumerate(&test.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+        let o = r.outcomes.iter().next().unwrap();
+        assert_eq!(
+            o.reg(0, test.reg(0, "r1")),
+            samm_core::ids::Value::new(7),
+            "store through the pointer must be seen"
+        );
+    }
+
+    #[test]
+    fn unknown_thread_in_condition_fails_at_build() {
+        let result = LitmusBuilder::new("bad")
+            .thread("P0", |t| {
+                t.store("x", 1);
+            })
+            .forbid(&[("P9", "r0", 0)])
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn store_reg_and_binop_compose() {
+        let test = LitmusBuilder::new("calc")
+            .thread("P0", |t| {
+                t.mov("r0", 2)
+                    .binop("r1", BinOp::Add, SymOperand::reg("r0"), SymOperand::Imm(3))
+                    .store_reg("x", "r1")
+                    .load("r2", "x");
+            })
+            .build()
+            .unwrap();
+        let r = enumerate(&test.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        let o = r.outcomes.iter().next().unwrap();
+        assert_eq!(o.reg(0, test.reg(0, "r2")), samm_core::ids::Value::new(5));
+    }
+}

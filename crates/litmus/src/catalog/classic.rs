@@ -1,0 +1,391 @@
+//! The classic litmus-test suite, with per-model verdicts.
+//!
+//! These are the standard shapes of the memory-model literature (Adve &
+//! Gharachorloo's tutorial, the herd suite): store buffering, message
+//! passing, load buffering, coherence-of-reads, IRIW and write-to-read
+//! causality — each with and without fences where the contrast is
+//! interesting. The expected verdicts follow directly from the paper's
+//! reordering table (Figure 1) plus Store Atomicity.
+
+use super::{CatalogEntry, ModelSel};
+use crate::builder::LitmusBuilder;
+
+use ModelSel::{NaiveTso, Pso, Sc, Tso, Weak, WeakSpec};
+
+/// Store buffering (Dekker): may both threads miss each other's store?
+pub fn sb() -> CatalogEntry {
+    let test = LitmusBuilder::new("SB")
+        .thread("P0", |t| {
+            t.store("x", 1).load("r0", "y");
+        })
+        .thread("P1", |t| {
+            t.store("y", 1).load("r0", "x");
+        })
+        .forbid(&[("P0", "r0", 0), ("P1", "r0", 0)])
+        .build()
+        .expect("SB compiles");
+    CatalogEntry::new(
+        test,
+        "store buffering: the hallmark store->load relaxation",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, true),
+            (0, Tso, true),
+            (0, Pso, true),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Store buffering with full fences: SC-like everywhere.
+pub fn sb_fenced() -> CatalogEntry {
+    let test = LitmusBuilder::new("SB+fences")
+        .thread("P0", |t| {
+            t.store("x", 1).fence().load("r0", "y");
+        })
+        .thread("P1", |t| {
+            t.store("y", 1).fence().load("r0", "x");
+        })
+        .forbid(&[("P0", "r0", 0), ("P1", "r0", 0)])
+        .build()
+        .expect("SB+fences compiles");
+    CatalogEntry::new(
+        test,
+        "fences restore SC for store buffering in every model",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}
+
+/// Message passing: data published before a flag.
+pub fn mp() -> CatalogEntry {
+    let test = LitmusBuilder::new("MP")
+        .thread("P0", |t| {
+            t.store("x", 42).store("flag", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "flag").load("r1", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("MP compiles");
+    CatalogEntry::new(
+        test,
+        "message passing: needs store->store and load->load order",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, true),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Message passing with fences on both sides: safe everywhere.
+pub fn mp_fenced() -> CatalogEntry {
+    let test = LitmusBuilder::new("MP+fences")
+        .thread("P0", |t| {
+            t.store("x", 42).fence().store("flag", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "flag").fence().load("r1", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("MP+fences compiles");
+    CatalogEntry::new(
+        test,
+        "fenced message passing is safe in every model",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}
+
+/// Message passing fenced only on the producer side: the consumer's loads
+/// may still reorder under the weak model, but every buffer-based model
+/// keeps them in order — this separates Weak from PSO.
+pub fn mp_fence_producer_only() -> CatalogEntry {
+    let test = LitmusBuilder::new("MP+wfence")
+        .thread("P0", |t| {
+            t.store("x", 42).fence().store("flag", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "flag").load("r1", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("MP+wfence compiles");
+    CatalogEntry::new(
+        test,
+        "producer-only fence: safe wherever loads stay ordered (everything \
+         but the weak model)",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Message passing fenced only on the consumer side: the producer's
+/// stores may still reorder under PSO and the weak model — this separates
+/// TSO from PSO.
+pub fn mp_fence_consumer_only() -> CatalogEntry {
+    let test = LitmusBuilder::new("MP+rfence")
+        .thread("P0", |t| {
+            t.store("x", 42).store("flag", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "flag").fence().load("r1", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("MP+rfence compiles");
+    CatalogEntry::new(
+        test,
+        "consumer-only fence: safe wherever stores stay ordered (SC and \
+         TSO), broken once store->store relaxes (PSO, Weak)",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, true),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Load buffering: loads bypassing later stores.
+pub fn lb() -> CatalogEntry {
+    let test = LitmusBuilder::new("LB")
+        .thread("P0", |t| {
+            t.load("r0", "x").store("y", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "y").store("x", 1);
+        })
+        .forbid(&[("P0", "r0", 1), ("P1", "r0", 1)])
+        .build()
+        .expect("LB compiles");
+    CatalogEntry::new(
+        test,
+        "load buffering: only the weak model reorders load->store",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Load buffering with data dependencies: out-of-thin-air values are
+/// forbidden in every model — the stored value depends on the load.
+pub fn lb_data() -> CatalogEntry {
+    let test = LitmusBuilder::new("LB+data")
+        .thread("P0", |t| {
+            t.load("r0", "x").store_reg("y", "r0");
+        })
+        .thread("P1", |t| {
+            t.load("r0", "y").store_reg("x", "r0");
+        })
+        .forbid(&[("P0", "r0", 1), ("P1", "r0", 1)])
+        .build()
+        .expect("LB+data compiles");
+    CatalogEntry::new(
+        test,
+        "data dependencies forbid out-of-thin-air load buffering everywhere",
+        &[
+            (0, Sc, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}
+
+/// Coherence of read-read: two loads of the same location in one thread.
+pub fn corr() -> CatalogEntry {
+    let test = LitmusBuilder::new("CoRR")
+        .thread("P0", |t| {
+            t.store("x", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "x").load("r1", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("CoRR compiles");
+    CatalogEntry::new(
+        test,
+        "read-read coherence: Figure 1 leaves same-address load pairs \
+         unordered, so the weak model allows the inversion",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// Independent reads of independent writes.
+pub fn iriw() -> CatalogEntry {
+    let test = LitmusBuilder::new("IRIW")
+        .thread("P0", |t| {
+            t.store("x", 1);
+        })
+        .thread("P1", |t| {
+            t.store("y", 1);
+        })
+        .thread("P2", |t| {
+            t.load("r0", "x").load("r1", "y");
+        })
+        .thread("P3", |t| {
+            t.load("r0", "y").load("r1", "x");
+        })
+        .forbid(&[
+            ("P2", "r0", 1),
+            ("P2", "r1", 0),
+            ("P3", "r0", 1),
+            ("P3", "r1", 0),
+        ])
+        .build()
+        .expect("IRIW compiles");
+    CatalogEntry::new(
+        test,
+        "IRIW without fences: unordered observer loads may disagree",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// IRIW with fenced observers: Store Atomicity (rule c) forbids the
+/// disagreement in *every* store-atomic model — the signature property this
+/// framework enforces and cache coherence implements.
+pub fn iriw_fenced() -> CatalogEntry {
+    let test = LitmusBuilder::new("IRIW+fences")
+        .thread("P0", |t| {
+            t.store("x", 1);
+        })
+        .thread("P1", |t| {
+            t.store("y", 1);
+        })
+        .thread("P2", |t| {
+            t.load("r0", "x").fence().load("r1", "y");
+        })
+        .thread("P3", |t| {
+            t.load("r0", "y").fence().load("r1", "x");
+        })
+        .forbid(&[
+            ("P2", "r0", 1),
+            ("P2", "r1", 0),
+            ("P3", "r0", 1),
+            ("P3", "r1", 0),
+        ])
+        .build()
+        .expect("IRIW+fences compiles");
+    CatalogEntry::new(
+        test,
+        "IRIW with fences: Store Atomicity forbids observers disagreeing \
+         on the store order in every atomic model",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}
+
+/// Write-to-read causality.
+pub fn wrc() -> CatalogEntry {
+    let test = LitmusBuilder::new("WRC")
+        .thread("P0", |t| {
+            t.store("x", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "x").store("y", 1);
+        })
+        .thread("P2", |t| {
+            t.load("r1", "y").load("r2", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P2", "r1", 1), ("P2", "r2", 0)])
+        .build()
+        .expect("WRC compiles");
+    CatalogEntry::new(
+        test,
+        "write-to-read causality: broken only by the weak model's \
+         load->store and load->load relaxations",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, true),
+            (0, WeakSpec, true),
+        ],
+    )
+}
+
+/// WRC with fences: causality restored in every store-atomic model.
+pub fn wrc_fenced() -> CatalogEntry {
+    let test = LitmusBuilder::new("WRC+fences")
+        .thread("P0", |t| {
+            t.store("x", 1);
+        })
+        .thread("P1", |t| {
+            t.load("r0", "x").fence().store("y", 1);
+        })
+        .thread("P2", |t| {
+            t.load("r1", "y").fence().load("r2", "x");
+        })
+        .forbid(&[("P1", "r0", 1), ("P2", "r1", 1), ("P2", "r2", 0)])
+        .build()
+        .expect("WRC+fences compiles");
+    CatalogEntry::new(
+        test,
+        "fenced write-to-read causality holds in every store-atomic model \
+         (store atomicity is cumulative)",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}

@@ -1,0 +1,180 @@
+//! Executable conformance harness over the catalog.
+//!
+//! [`run_entry`] enumerates a catalog test under every model its verdicts
+//! mention and compares observability of each condition against the
+//! expected verdict — turning the paper's prose claims ("L6 cannot observe
+//! S1") into pass/fail rows. The `experiments` binary of `samm-bench`
+//! prints these rows as the reproduction record.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::error::EnumError;
+use samm_core::outcome::OutcomeSet;
+
+use crate::catalog::{CatalogEntry, ModelSel};
+
+/// One evaluated verdict.
+#[derive(Debug, Clone)]
+pub struct VerdictRow {
+    /// The model evaluated.
+    pub model: ModelSel,
+    /// Condition text (`P0:r0=0 & P1:r0=0`).
+    pub condition: String,
+    /// Whether the paper/catalog expects the condition observable.
+    pub expected_allowed: bool,
+    /// Whether enumeration observed it.
+    pub observed_allowed: bool,
+    /// Total distinct outcomes under the model.
+    pub outcomes: usize,
+    /// Total distinct executions under the model.
+    pub executions: usize,
+}
+
+impl VerdictRow {
+    /// Whether observation matched expectation.
+    pub fn pass(&self) -> bool {
+        self.expected_allowed == self.observed_allowed
+    }
+}
+
+impl fmt::Display for VerdictRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {:9} {:7} {} (expected {}, {} outcomes, {} executions)",
+            if self.pass() { "ok" } else { "FAIL" },
+            self.model.name(),
+            if self.observed_allowed {
+                "allowed"
+            } else {
+                "forbidden"
+            },
+            self.condition,
+            if self.expected_allowed {
+                "allowed"
+            } else {
+                "forbidden"
+            },
+            self.outcomes,
+            self.executions,
+        )
+    }
+}
+
+/// All evaluated verdicts of one catalog entry.
+#[derive(Debug, Clone)]
+pub struct EntryReport {
+    /// Test name.
+    pub name: String,
+    /// One row per verdict, in catalog order.
+    pub rows: Vec<VerdictRow>,
+}
+
+impl EntryReport {
+    /// Whether every verdict matched.
+    pub fn all_pass(&self) -> bool {
+        self.rows.iter().all(VerdictRow::pass)
+    }
+
+    /// The failing rows, if any.
+    pub fn failures(&self) -> Vec<&VerdictRow> {
+        self.rows.iter().filter(|r| !r.pass()).collect()
+    }
+}
+
+impl fmt::Display for EntryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one catalog entry: enumerates under each referenced model and
+/// evaluates every verdict.
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry(entry: &CatalogEntry, config: &EnumConfig) -> Result<EntryReport, EnumError> {
+    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize)> = BTreeMap::new();
+    for model in entry.models() {
+        let result = enumerate(&entry.test.program, &model.policy(), config)?;
+        outcome_cache.insert(model, (result.outcomes, result.stats.distinct_executions));
+    }
+    let rows = entry
+        .verdicts
+        .iter()
+        .map(|v| {
+            let (outcomes, executions) = &outcome_cache[&v.model];
+            let condition = &entry.test.conditions[v.condition];
+            VerdictRow {
+                model: v.model,
+                condition: condition.text.clone(),
+                expected_allowed: v.allowed,
+                observed_allowed: condition.observable_in(outcomes),
+                outcomes: outcomes.len(),
+                executions: *executions,
+            }
+        })
+        .collect();
+    Ok(EntryReport {
+        name: entry.test.name.clone(),
+        rows,
+    })
+}
+
+/// Runs a set of entries, collecting per-entry reports.
+///
+/// # Errors
+///
+/// Stops at the first enumeration failure.
+pub fn run_all(
+    entries: &[CatalogEntry],
+    config: &EnumConfig,
+) -> Result<Vec<EntryReport>, EnumError> {
+    entries.iter().map(|e| run_entry(e, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn fast_config() -> EnumConfig {
+        EnumConfig {
+            keep_executions: false,
+            ..EnumConfig::default()
+        }
+    }
+
+    #[test]
+    fn sb_report_matches_catalog() {
+        let report = run_entry(&catalog::sb(), &fast_config()).unwrap();
+        assert!(report.all_pass(), "{report}");
+        assert_eq!(report.rows.len(), 6);
+    }
+
+    #[test]
+    fn rows_render_with_verdicts() {
+        let report = run_entry(&catalog::sb(), &fast_config()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("SB"));
+        assert!(text.contains("[ok]"));
+        assert!(text.contains("forbidden"));
+    }
+
+    #[test]
+    fn failures_lists_mismatches() {
+        // Deliberately wrong verdict: SB 0/0 "forbidden" under weak.
+        let mut entry = catalog::sb();
+        entry.verdicts[4].allowed = false;
+        let report = run_entry(&entry, &fast_config()).unwrap();
+        assert!(!report.all_pass());
+        assert_eq!(report.failures().len(), 1);
+    }
+}

@@ -1,0 +1,606 @@
+//! A small text format for litmus tests.
+//!
+//! The format mirrors how the paper prints its figures. Example:
+//!
+//! ```text
+//! test: MP
+//! init: x = 0, flag = 0
+//!
+//! thread P0:
+//!   store x, 42
+//!   fence
+//!   store flag, 1
+//!
+//! thread P1:
+//!   r0 = load flag
+//!   fence
+//!   r1 = load x
+//!
+//! forbid: P1:r0 = 1 & P1:r1 = 0
+//! ```
+//!
+//! Grammar notes:
+//!
+//! * `store LOC, VAL` / `REG = load LOC` use location names directly;
+//!   `store *REG, VAL` and `REG = load *REG` go through a pointer register;
+//! * values are integers, registers, or `&LOC` (the address of a location);
+//! * compute instructions: `REG = add A, B` (also `sub mul and or xor eq ne
+//!   lt`), plain `REG = VAL` is a move;
+//! * control flow: `if REG goto LABEL`, `goto LABEL`, `halt`, and `LABEL:`
+//!   lines;
+//! * `allow:` / `forbid:` lines take `P:reg = value` clauses joined by `&`;
+//! * `#` and `//` start comments.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use samm_core::instr::BinOp;
+
+use crate::ast::{CondKind, Condition, LitmusTest, SymInstr, SymOperand, SymThread};
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl StdError for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a value operand: integer, `&loc`, or register name.
+fn parse_operand(line: usize, s: &str) -> Result<SymOperand, ParseError> {
+    let s = s.trim();
+    if let Some(loc) = s.strip_prefix('&') {
+        if !is_ident(loc) {
+            return Err(err(line, format!("bad location name `{loc}`")));
+        }
+        return Ok(SymOperand::addr_of(loc));
+    }
+    if let Ok(v) = s.parse::<u64>() {
+        return Ok(SymOperand::Imm(v));
+    }
+    if is_ident(s) {
+        return Ok(SymOperand::reg(s));
+    }
+    Err(err(
+        line,
+        format!("expected a value, register or &location, got `{s}`"),
+    ))
+}
+
+/// Parses an address operand: a location name or `*reg`.
+fn parse_addr(line: usize, s: &str) -> Result<SymOperand, ParseError> {
+    let s = s.trim();
+    if let Some(reg) = s.strip_prefix('*') {
+        if !is_ident(reg) {
+            return Err(err(line, format!("bad pointer register `{reg}`")));
+        }
+        return Ok(SymOperand::reg(reg));
+    }
+    if is_ident(s) {
+        return Ok(SymOperand::addr_of(s));
+    }
+    Err(err(
+        line,
+        format!("expected a location or *register, got `{s}`"),
+    ))
+}
+
+fn binop_by_name(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "lt" => BinOp::Lt,
+        _ => return None,
+    })
+}
+
+fn parse_instr(line: usize, text: &str) -> Result<SymInstr, ParseError> {
+    // Label line: `name:` with nothing else.
+    if let Some(label) = text.strip_suffix(':') {
+        let label = label.trim();
+        if is_ident(label) {
+            return Ok(SymInstr::Label(label.to_owned()));
+        }
+    }
+    if text == "fence" {
+        return Ok(SymInstr::Fence);
+    }
+    if text == "halt" {
+        return Ok(SymInstr::Halt);
+    }
+    if let Some(rest) = text.strip_prefix("goto ") {
+        let label = rest.trim();
+        if !is_ident(label) {
+            return Err(err(line, format!("bad label `{label}`")));
+        }
+        return Ok(SymInstr::Goto {
+            label: label.to_owned(),
+        });
+    }
+    if let Some(rest) = text.strip_prefix("if ") {
+        let (cond, label) = rest
+            .split_once(" goto ")
+            .ok_or_else(|| err(line, "expected `if REG goto LABEL`"))?;
+        let cond = parse_operand(line, cond)?;
+        let label = label.trim();
+        if !is_ident(label) {
+            return Err(err(line, format!("bad label `{label}`")));
+        }
+        return Ok(SymInstr::Branch {
+            cond,
+            label: label.to_owned(),
+        });
+    }
+    if let Some(rest) = text.strip_prefix("store ") {
+        let (addr, val) = rest
+            .split_once(',')
+            .ok_or_else(|| err(line, "expected `store LOC, VALUE`"))?;
+        return Ok(SymInstr::Store {
+            addr: parse_addr(line, addr)?,
+            val: parse_operand(line, val)?,
+        });
+    }
+    // Assignment forms: `REG = ...`.
+    if let Some((dst, rhs)) = text.split_once('=') {
+        let dst = dst.trim();
+        if !is_ident(dst) {
+            return Err(err(line, format!("bad register `{dst}`")));
+        }
+        let rhs = rhs.trim();
+        if let Some(rest) = rhs.strip_prefix("load ") {
+            return Ok(SymInstr::Load {
+                dst: dst.to_owned(),
+                addr: parse_addr(line, rest)?,
+            });
+        }
+        if let Some(rest) = rhs.strip_prefix("cas ") {
+            // REG = cas LOC, EXPECT, NEW
+            let parts: Vec<&str> = rest.splitn(3, ',').collect();
+            if parts.len() != 3 {
+                return Err(err(line, "expected `cas LOC, EXPECT, NEW`"));
+            }
+            return Ok(SymInstr::Rmw {
+                dst: dst.to_owned(),
+                addr: parse_addr(line, parts[0])?,
+                op: crate::ast::SymRmwOp::Cas(parse_operand(line, parts[1])?),
+                src: parse_operand(line, parts[2])?,
+            });
+        }
+        if let Some(rest) = rhs.strip_prefix("swap ") {
+            let (loc, val) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line, "expected `swap LOC, VALUE`"))?;
+            return Ok(SymInstr::Rmw {
+                dst: dst.to_owned(),
+                addr: parse_addr(line, loc)?,
+                op: crate::ast::SymRmwOp::Swap,
+                src: parse_operand(line, val)?,
+            });
+        }
+        if let Some(rest) = rhs.strip_prefix("faa ") {
+            let (loc, delta) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line, "expected `faa LOC, DELTA`"))?;
+            return Ok(SymInstr::Rmw {
+                dst: dst.to_owned(),
+                addr: parse_addr(line, loc)?,
+                op: crate::ast::SymRmwOp::FetchAdd,
+                src: parse_operand(line, delta)?,
+            });
+        }
+        if let Some((op_name, args)) = rhs.split_once(' ') {
+            if let Some(op) = binop_by_name(op_name) {
+                let (lhs, rhs2) = args
+                    .split_once(',')
+                    .ok_or_else(|| err(line, format!("expected `{op_name} A, B`")))?;
+                return Ok(SymInstr::Binop {
+                    dst: dst.to_owned(),
+                    op,
+                    lhs: parse_operand(line, lhs)?,
+                    rhs: parse_operand(line, rhs2)?,
+                });
+            }
+        }
+        return Ok(SymInstr::Mov {
+            dst: dst.to_owned(),
+            src: parse_operand(line, rhs)?,
+        });
+    }
+    Err(err(line, format!("unrecognized instruction `{text}`")))
+}
+
+fn parse_condition(
+    line: usize,
+    kind: CondKind,
+    rest: &str,
+    thread_names: &[String],
+) -> Result<Condition, ParseError> {
+    // Split clauses on `&`, but re-attach pieces that belong to an
+    // address-of value: in `P0:r0 = &y & P0:r1 = 7` the first `&` is part
+    // of `&y` (the preceding piece ends with `=`), the second separates
+    // clauses.
+    let mut clause_texts: Vec<String> = Vec::new();
+    for piece in rest.split('&') {
+        match clause_texts.last_mut() {
+            Some(last) if last.trim_end().ends_with('=') => {
+                last.push('&');
+                last.push_str(piece);
+            }
+            _ => clause_texts.push(piece.to_owned()),
+        }
+    }
+    let mut clauses = Vec::new();
+    for clause in &clause_texts {
+        let clause = clause.trim();
+        let (lhs, value) = clause
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `P:reg = value` in `{clause}`")))?;
+        let (thread, reg) = lhs
+            .trim()
+            .split_once(':')
+            .ok_or_else(|| err(line, format!("expected `P:reg` in `{lhs}`")))?;
+        let thread = thread.trim();
+        let idx = thread_names
+            .iter()
+            .position(|n| n == thread)
+            .ok_or_else(|| err(line, format!("unknown thread `{thread}`")))?;
+        let reg = reg.trim();
+        if !is_ident(reg) {
+            return Err(err(line, format!("bad register `{reg}`")));
+        }
+        clauses.push((idx, reg.to_owned(), parse_operand(line, value)?));
+    }
+    if clauses.is_empty() {
+        return Err(err(line, "condition needs at least one clause"));
+    }
+    Ok(Condition { kind, clauses })
+}
+
+/// Parses the litmus text format into a symbolic test.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// test: SB
+/// thread P0:
+///   store x, 1
+///   r0 = load y
+/// thread P1:
+///   store y, 1
+///   r0 = load x
+/// forbid: P0:r0 = 0 & P1:r0 = 0
+/// ";
+/// let test = samm_litmus::parser::parse(src).unwrap();
+/// assert_eq!(test.threads.len(), 2);
+/// let compiled = test.compile().unwrap();
+/// assert_eq!(compiled.conditions.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
+    let mut test = LitmusTest::default();
+    let mut current_thread: Option<SymThread> = None;
+    let mut thread_names: Vec<String> = Vec::new();
+    let mut pending_conditions: Vec<(usize, CondKind, String)> = Vec::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let mut text = raw;
+        if let Some((before, _)) = text.split_once('#') {
+            text = before;
+        }
+        if let Some((before, _)) = text.split_once("//") {
+            text = before;
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("test:") {
+            test.name = rest.trim().to_owned();
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("init:") {
+            for entry in rest.split(',') {
+                let entry = entry.trim();
+                if entry.is_empty() {
+                    continue;
+                }
+                let (loc, value) = entry
+                    .split_once('=')
+                    .ok_or_else(|| err(line, format!("expected `loc = value` in `{entry}`")))?;
+                let loc = loc.trim();
+                if !is_ident(loc) {
+                    return Err(err(line, format!("bad location `{loc}`")));
+                }
+                test.init
+                    .push((loc.to_owned(), parse_operand(line, value)?));
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("thread ") {
+            let name = rest
+                .trim()
+                .strip_suffix(':')
+                .ok_or_else(|| err(line, "expected `thread NAME:`"))?
+                .trim();
+            if !is_ident(name) {
+                return Err(err(line, format!("bad thread name `{name}`")));
+            }
+            if let Some(done) = current_thread.take() {
+                test.threads.push(done);
+            }
+            thread_names.push(name.to_owned());
+            current_thread = Some(SymThread {
+                name: name.to_owned(),
+                instrs: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("allow:") {
+            pending_conditions.push((line, CondKind::Allowed, rest.to_owned()));
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("forbid:") {
+            pending_conditions.push((line, CondKind::Forbidden, rest.to_owned()));
+            continue;
+        }
+        match current_thread.as_mut() {
+            Some(thread) => thread.instrs.push(parse_instr(line, text)?),
+            None => {
+                return Err(err(
+                    line,
+                    format!("`{text}` appears outside any thread block"),
+                ))
+            }
+        }
+    }
+    if let Some(done) = current_thread.take() {
+        test.threads.push(done);
+    }
+    // Conditions may reference threads declared later, so resolve last.
+    for (line, kind, rest) in pending_conditions {
+        test.conditions
+            .push(parse_condition(line, kind, &rest, &thread_names)?);
+    }
+    Ok(test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::enumerate::{enumerate, EnumConfig};
+    use samm_core::policy::Policy;
+
+    const MP: &str = "\
+test: MP
+init: x = 0, flag = 0
+
+thread P0:
+  store x, 42      # data
+  fence
+  store flag, 1    // publish
+
+thread P1:
+  r0 = load flag
+  fence
+  r1 = load x
+
+forbid: P1:r0 = 1 & P1:r1 = 0
+";
+
+    #[test]
+    fn parses_and_runs_mp() {
+        let test = parse(MP).unwrap();
+        assert_eq!(test.name, "MP");
+        assert_eq!(test.threads.len(), 2);
+        let compiled = test.compile().unwrap();
+        let weak = enumerate(&compiled.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(
+            !compiled.conditions[0].observable_in(&weak.outcomes),
+            "fenced MP forbids stale data even under the weak model"
+        );
+    }
+
+    #[test]
+    fn parses_pointers_and_address_values() {
+        let src = "\
+test: ptr
+init: p = &y
+thread P0:
+  r0 = load p
+  store *r0, 7
+  r1 = load y
+allow: P0:r0 = &y & P0:r1 = 7
+";
+        let compiled = parse(src).unwrap().compile().unwrap();
+        let r = enumerate(&compiled.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(compiled.conditions[0].observable_in(&r.outcomes));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "\
+test: cf
+thread P0:
+  r0 = load flag
+  if r0 goto yes
+  r1 = 10
+  goto end
+yes:
+  r1 = 20
+end:
+  halt
+";
+        let test = parse(src).unwrap();
+        let compiled = test.compile().unwrap();
+        assert_eq!(compiled.program.threads()[0].instrs().len(), 6);
+    }
+
+    #[test]
+    fn parses_binops_and_moves() {
+        let src = "\
+test: alu
+thread P0:
+  r0 = 5
+  r1 = add r0, 3
+  r2 = eq r1, 8
+  store x, r2
+  r3 = load x
+allow: P0:r3 = 1
+";
+        let compiled = parse(src).unwrap().compile().unwrap();
+        let r = enumerate(&compiled.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert!(compiled.conditions[0].observable_in(&r.outcomes));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "test: t\nthread P0:\n  blorp qux\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn instruction_outside_thread_is_rejected() {
+        let e = parse("store x, 1\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn condition_with_unknown_thread_is_rejected() {
+        let src = "test: t\nthread P0:\n  store x, 1\nforbid: P9:r0 = 0\n";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("unknown thread"));
+    }
+
+    #[test]
+    fn malformed_condition_clause_is_rejected() {
+        let src = "test: t\nthread P0:\n  store x, 1\nforbid: P0r0\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let src = "# header\ntest: t\n\nthread P0:\n  # nothing\n  fence\n";
+        let test = parse(src).unwrap();
+        assert_eq!(test.threads[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn parses_rmw_instructions() {
+        let src = "\
+test: atomics
+thread P0:
+  r0 = cas lock, 0, 1
+  r1 = swap x, 5
+  r2 = faa c, 2
+";
+        let test = parse(src).unwrap();
+        use crate::ast::{SymInstr, SymRmwOp};
+        assert!(matches!(
+            &test.threads[0].instrs[0],
+            SymInstr::Rmw {
+                op: SymRmwOp::Cas(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &test.threads[0].instrs[1],
+            SymInstr::Rmw {
+                op: SymRmwOp::Swap,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &test.threads[0].instrs[2],
+            SymInstr::Rmw {
+                op: SymRmwOp::FetchAdd,
+                ..
+            }
+        ));
+        // And they compile and run deterministically single-threaded.
+        let compiled = test.compile().unwrap();
+        let r = samm_core::enumerate::enumerate(
+            &compiled.program,
+            &samm_core::policy::Policy::weak(),
+            &samm_core::enumerate::EnumConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcomes.len(), 1);
+    }
+
+    mod fuzz {
+        use super::super::parse;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The parser never panics, whatever the input.
+            #[test]
+            fn parser_is_total(input in "\\PC{0,200}") {
+                let _ = parse(&input);
+            }
+
+            /// Line-structured junk with plausible keywords never panics
+            /// and errors carry a plausible line number.
+            #[test]
+            fn structured_junk_is_rejected_gracefully(
+                lines in prop::collection::vec(
+                    prop_oneof![
+                        Just("thread P0:".to_owned()),
+                        Just("  store x, 1".to_owned()),
+                        Just("  r0 = load y".to_owned()),
+                        Just("  fence".to_owned()),
+                        "[a-z ]{0,12}",
+                        "  [a-z=,&*]{0,12}",
+                    ],
+                    0..12
+                )
+            ) {
+                let src = lines.join("\n");
+                match parse(&src) {
+                    Ok(test) => {
+                        // Whatever parsed must also compile or fail
+                        // gracefully.
+                        let _ = test.compile();
+                    }
+                    Err(e) => prop_assert!(e.line <= lines.len() + 1),
+                }
+            }
+        }
+    }
+}

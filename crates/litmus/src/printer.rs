@@ -1,0 +1,278 @@
+//! Serializes a symbolic litmus test back to the text format of
+//! [`crate::parser`], such that `parse(print(t))` reproduces `t`.
+//!
+//! Useful for saving generated or programmatically built tests to
+//! `.litmus` files and for property-testing the parser itself.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::fmt::Write as _;
+
+use samm_core::instr::BinOp;
+
+use crate::ast::{CondKind, LitmusTest, SymInstr, SymOperand, SymRmwOp};
+
+/// A test shape the text format cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrintError {
+    /// A memory address given as a raw literal (the grammar only knows
+    /// named locations and pointer registers).
+    LiteralAddress,
+    /// A condition references a thread index with no corresponding thread.
+    DanglingThread {
+        /// The out-of-range index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PrintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrintError::LiteralAddress => {
+                write!(f, "the text format cannot express literal addresses")
+            }
+            PrintError::DanglingThread { index } => {
+                write!(f, "condition references missing thread {index}")
+            }
+        }
+    }
+}
+
+impl StdError for PrintError {}
+
+fn operand(op: &SymOperand) -> String {
+    match op {
+        SymOperand::Reg(r) => r.clone(),
+        SymOperand::Imm(v) => v.to_string(),
+        SymOperand::AddrOf(loc) => format!("&{loc}"),
+    }
+}
+
+fn address(op: &SymOperand) -> Result<String, PrintError> {
+    match op {
+        SymOperand::AddrOf(loc) => Ok(loc.clone()),
+        SymOperand::Reg(r) => Ok(format!("*{r}")),
+        SymOperand::Imm(_) => Err(PrintError::LiteralAddress),
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+    }
+}
+
+/// Renders a symbolic test in the text format.
+///
+/// # Errors
+///
+/// Returns [`PrintError`] for shapes the grammar cannot express (literal
+/// addresses, dangling condition threads).
+///
+/// # Examples
+///
+/// ```
+/// use samm_litmus::{parser, printer};
+///
+/// let src = "test: t\nthread P0:\n  store x, 1\n  r0 = load x\n";
+/// let test = parser::parse(src).unwrap();
+/// let printed = printer::print(&test).unwrap();
+/// let reparsed = parser::parse(&printed).unwrap();
+/// assert_eq!(test.threads, reparsed.threads);
+/// ```
+pub fn print(test: &LitmusTest) -> Result<String, PrintError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "test: {}", test.name);
+    if !test.init.is_empty() {
+        let entries: Vec<String> = test
+            .init
+            .iter()
+            .map(|(loc, value)| format!("{loc} = {}", operand(value)))
+            .collect();
+        let _ = writeln!(out, "init: {}", entries.join(", "));
+    }
+    for thread in &test.threads {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "thread {}:", thread.name);
+        for instr in &thread.instrs {
+            let line = match instr {
+                SymInstr::Mov { dst, src } => format!("  {dst} = {}", operand(src)),
+                SymInstr::Binop { dst, op, lhs, rhs } => format!(
+                    "  {dst} = {} {}, {}",
+                    binop_name(*op),
+                    operand(lhs),
+                    operand(rhs)
+                ),
+                SymInstr::Load { dst, addr } => {
+                    format!("  {dst} = load {}", address(addr)?)
+                }
+                SymInstr::Store { addr, val } => {
+                    format!("  store {}, {}", address(addr)?, operand(val))
+                }
+                SymInstr::Rmw { dst, addr, op, src } => match op {
+                    SymRmwOp::Swap => {
+                        format!("  {dst} = swap {}, {}", address(addr)?, operand(src))
+                    }
+                    SymRmwOp::FetchAdd => {
+                        format!("  {dst} = faa {}, {}", address(addr)?, operand(src))
+                    }
+                    SymRmwOp::Cas(expect) => format!(
+                        "  {dst} = cas {}, {}, {}",
+                        address(addr)?,
+                        operand(expect),
+                        operand(src)
+                    ),
+                },
+                SymInstr::Fence => "  fence".to_owned(),
+                SymInstr::Branch { cond, label } => {
+                    format!("  if {} goto {label}", operand(cond))
+                }
+                SymInstr::Goto { label } => format!("  goto {label}"),
+                SymInstr::Label(label) => format!("{label}:"),
+                SymInstr::Halt => "  halt".to_owned(),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    if !test.conditions.is_empty() {
+        let _ = writeln!(out);
+    }
+    for cond in &test.conditions {
+        let keyword = match cond.kind {
+            CondKind::Allowed => "allow",
+            CondKind::Forbidden => "forbid",
+        };
+        let clauses: Result<Vec<String>, PrintError> = cond
+            .clauses
+            .iter()
+            .map(|(thread, reg, value)| {
+                let name = test
+                    .threads
+                    .get(*thread)
+                    .map(|t| t.name.clone())
+                    .ok_or(PrintError::DanglingThread { index: *thread })?;
+                Ok(format!("{name}:{reg} = {}", operand(value)))
+            })
+            .collect();
+        let _ = writeln!(out, "{keyword}: {}", clauses?.join(" & "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = "\
+test: MP
+init: data = 0, p = &data
+
+thread P0:
+  store data, 42
+  fence
+  store flag, 1
+
+thread P1:
+  r0 = load flag
+  if r0 goto go
+  goto end
+go:
+  fence
+  r1 = load data
+  r2 = cas lock, 0, 1
+  r3 = faa c, 1
+  r4 = swap s, 9
+  r5 = add r1, 2
+end:
+  halt
+
+forbid: P1:r0 = 1 & P1:r1 = 0
+allow: P1:r0 = 0
+";
+
+    #[test]
+    fn round_trips_every_construct() {
+        let test = parse(SAMPLE).unwrap();
+        let printed = print(&test).unwrap();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(test.name, reparsed.name);
+        assert_eq!(test.init, reparsed.init);
+        assert_eq!(test.threads, reparsed.threads);
+        assert_eq!(test.conditions.len(), reparsed.conditions.len());
+        for (a, b) in test.conditions.iter().zip(&reparsed.conditions) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.clauses, b.clauses);
+        }
+    }
+
+    #[test]
+    fn round_trip_compiles_identically() {
+        let test = parse(SAMPLE).unwrap();
+        let printed = print(&test).unwrap();
+        let reparsed = parse(&printed).unwrap();
+        let a = test.compile().unwrap();
+        let b = reparsed.compile().unwrap();
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.addr_of, b.addr_of);
+    }
+
+    #[test]
+    fn literal_addresses_are_rejected() {
+        use crate::ast::{SymOperand, SymThread};
+        let test = LitmusTest {
+            name: "bad".into(),
+            threads: vec![SymThread {
+                name: "P0".into(),
+                instrs: vec![SymInstr::Store {
+                    addr: SymOperand::Imm(3),
+                    val: SymOperand::Imm(1),
+                }],
+            }],
+            init: vec![],
+            conditions: vec![],
+        };
+        assert_eq!(print(&test), Err(PrintError::LiteralAddress));
+    }
+
+    #[test]
+    fn dangling_condition_thread_is_rejected() {
+        use crate::ast::{CondKind, Condition};
+        let test = LitmusTest {
+            name: "bad".into(),
+            threads: vec![],
+            init: vec![],
+            conditions: vec![Condition {
+                kind: CondKind::Allowed,
+                clauses: vec![(4, "r0".into(), SymOperand::Imm(1))],
+            }],
+        };
+        assert_eq!(print(&test), Err(PrintError::DanglingThread { index: 4 }));
+    }
+
+    #[test]
+    fn pointer_operations_round_trip() {
+        let src = "\
+test: ptr
+init: p = &y
+thread P0:
+  r0 = load p
+  store *r0, 7
+  r1 = load *r0
+";
+        let test = parse(src).unwrap();
+        let printed = print(&test).unwrap();
+        assert_eq!(parse(&printed).unwrap().threads, test.threads);
+        assert!(printed.contains("store *r0, 7"));
+        assert!(printed.contains("init: p = &y"));
+    }
+}

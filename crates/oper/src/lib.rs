@@ -1,0 +1,41 @@
+//! # samm-oper — operational reference memory models
+//!
+//! Exhaustive explicit-state machines that serve as ground truth for the
+//! graph framework of [`samm_core`]:
+//!
+//! * [`enumerate_sc`] — the operational view of Sequential Consistency
+//!   (pick any thread's next instruction at each step);
+//! * [`enumerate_tso`] — per-thread FIFO store buffers with forwarding
+//!   (the standard SPARC TSO machine of the paper's section 6);
+//! * [`enumerate_pso`] — per-address FIFO buffers (Partial Store Order).
+//!
+//! The cross-validation property — the graph framework's outcome set under
+//! `Policy::sequential_consistency()` / `Policy::tso()` / `Policy::pso()`
+//! equals the corresponding machine's outcome set — is checked in the
+//! workspace integration tests and property tests.
+//!
+//! ```
+//! use samm_oper::{enumerate_sc, enumerate_tso};
+//! use samm_core::instr::{Instr, Program, ThreadProgram};
+//! use samm_core::ids::Reg;
+//!
+//! let t = |a: u64, b: u64| ThreadProgram::new(vec![
+//!     Instr::Store { addr: a.into(), val: 1u64.into() },
+//!     Instr::Load { dst: Reg::new(0), addr: b.into() },
+//! ]);
+//! let sb = Program::new(vec![t(0, 1), t(1, 0)]);
+//! let sc = enumerate_sc(&sb, 100_000).unwrap();
+//! let tso = enumerate_tso(&sb, 100_000).unwrap();
+//! assert!(sc.is_subset(&tso));
+//! assert_eq!(tso.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod machine;
+
+pub use machine::{
+    enumerate_machine, enumerate_pso, enumerate_sc, enumerate_tso, BufferKind, OperError,
+};

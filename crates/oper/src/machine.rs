@@ -1,0 +1,630 @@
+//! Explicit-state operational machines: interleaving SC and store-buffer
+//! TSO/PSO.
+//!
+//! These are the textbook *operational* definitions the paper's graph
+//! framework is validated against:
+//!
+//! * **SC** — "choosing the next instruction from one of the running
+//!   threads at each step" (paper section 1);
+//! * **TSO** — per-thread FIFO store buffers with load forwarding; a fence
+//!   waits for the buffer to drain;
+//! * **PSO** — per-address FIFO order in the buffer: the oldest entry *per
+//!   address* may drain, so stores to different addresses reorder.
+//!
+//! Enumeration explores every interleaving (and every drain schedule) with
+//! state memoization, producing the exact outcome set. The integration
+//! tests assert these sets coincide with the graph framework's — the
+//! operational/axiomatic correspondence that makes the reproduction
+//! credible.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::error::Error as StdError;
+use std::fmt;
+
+use samm_core::ids::{Addr, Value};
+use samm_core::instr::{Instr, Operand, Program, ThreadProgram};
+use samm_core::outcome::{Outcome, OutcomeSet};
+
+/// Which buffering discipline the machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferKind {
+    /// No buffers: stores hit memory atomically (SC).
+    None,
+    /// One FIFO buffer per thread (TSO).
+    Fifo,
+    /// Per-address FIFO: the oldest entry of each address may drain (PSO).
+    PerAddress,
+}
+
+/// Errors from operational enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OperError {
+    /// The explored state count exceeded the limit (the program probably
+    /// loops unboundedly).
+    StateLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for OperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperError::StateLimit { limit } => {
+                write!(f, "operational enumeration exceeded {limit} states")
+            }
+        }
+    }
+}
+
+impl StdError for OperError {}
+
+/// One thread's architectural state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CoreState {
+    pc: usize,
+    regs: Vec<Value>,
+    halted: bool,
+}
+
+/// A whole-machine state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MachState {
+    memory: BTreeMap<Addr, Value>,
+    cores: Vec<CoreState>,
+    /// Pending stores per thread, oldest first. Empty for SC.
+    buffers: Vec<VecDeque<(Addr, Value)>>,
+}
+
+impl MachState {
+    fn initial(program: &Program) -> Self {
+        MachState {
+            memory: program.init_entries().collect(),
+            cores: program
+                .threads()
+                .iter()
+                .map(|t| CoreState {
+                    pc: 0,
+                    regs: vec![Value::ZERO; t.reg_count()],
+                    halted: false,
+                })
+                .collect(),
+            buffers: vec![VecDeque::new(); program.threads().len()],
+        }
+    }
+
+    fn read_mem(&self, addr: Addr) -> Value {
+        self.memory.get(&addr).copied().unwrap_or(Value::ZERO)
+    }
+
+    /// The value a load on `thread` observes: newest same-address buffer
+    /// entry (forwarding) or memory.
+    fn read(&self, thread: usize, addr: Addr) -> Value {
+        self.buffers[thread]
+            .iter()
+            .rev()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| self.read_mem(addr))
+    }
+
+    fn operand(&self, thread: usize, op: Operand) -> Value {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.cores[thread]
+                .regs
+                .get(r.index())
+                .copied()
+                .unwrap_or(Value::ZERO),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.halted) && self.buffers.iter().all(VecDeque::is_empty)
+    }
+
+    fn outcome(&self) -> Outcome {
+        Outcome::new(self.cores.iter().map(|c| c.regs.clone()).collect())
+    }
+
+    /// Executes the next instruction of `thread`, if currently possible.
+    /// Returns the successor state, or `None` when the thread is blocked
+    /// (halted, or a fence with a non-empty buffer).
+    fn step_instr(
+        &self,
+        program: &ThreadProgram,
+        thread: usize,
+        kind: BufferKind,
+    ) -> Option<MachState> {
+        let core = &self.cores[thread];
+        if core.halted {
+            return None;
+        }
+        let mut next = self.clone();
+        {
+            let core = &mut next.cores[thread];
+            if core.pc >= program.instrs().len() {
+                core.halted = true;
+                return Some(next);
+            }
+        }
+        let instr = program.instrs()[self.cores[thread].pc];
+        let set_reg = |state: &mut MachState, r: samm_core::ids::Reg, v: Value| {
+            let regs = &mut state.cores[thread].regs;
+            if r.index() >= regs.len() {
+                regs.resize(r.index() + 1, Value::ZERO);
+            }
+            regs[r.index()] = v;
+        };
+        match instr {
+            Instr::Mov { dst, src } => {
+                let v = self.operand(thread, src);
+                set_reg(&mut next, dst, v);
+                next.cores[thread].pc += 1;
+            }
+            Instr::Binop { dst, op, lhs, rhs } => {
+                let v = op.apply(self.operand(thread, lhs), self.operand(thread, rhs));
+                set_reg(&mut next, dst, v);
+                next.cores[thread].pc += 1;
+            }
+            Instr::Load { dst, addr } => {
+                let a = Addr::from(self.operand(thread, addr));
+                let v = self.read(thread, a);
+                set_reg(&mut next, dst, v);
+                next.cores[thread].pc += 1;
+            }
+            Instr::Store { addr, val } => {
+                let a = Addr::from(self.operand(thread, addr));
+                let v = self.operand(thread, val);
+                match kind {
+                    BufferKind::None => {
+                        next.memory.insert(a, v);
+                    }
+                    BufferKind::Fifo | BufferKind::PerAddress => {
+                        next.buffers[thread].push_back((a, v));
+                    }
+                }
+                next.cores[thread].pc += 1;
+            }
+            Instr::Rmw { dst, addr, op, src } => {
+                // Atomics act on memory directly. Under TSO (FIFO buffer)
+                // that requires the whole buffer to drain — the atomic's
+                // store may not pass earlier stores. Under PSO only the
+                // *same-address* entries must drain first (per-address
+                // order), mirroring the graph model's SameAddr constraint
+                // for (Store, RMW) pairs.
+                let a = Addr::from(self.operand(thread, addr));
+                let blocked = match kind {
+                    BufferKind::None => false,
+                    BufferKind::Fifo => !self.buffers[thread].is_empty(),
+                    BufferKind::PerAddress => self.buffers[thread].iter().any(|&(ba, _)| ba == a),
+                };
+                if blocked {
+                    return None;
+                }
+                let old = self.read_mem(a);
+                let new = match op {
+                    samm_core::instr::RmwOp::Swap => Some(self.operand(thread, src)),
+                    samm_core::instr::RmwOp::FetchAdd => Some(Value::new(
+                        old.raw().wrapping_add(self.operand(thread, src).raw()),
+                    )),
+                    samm_core::instr::RmwOp::Cas { expect } => {
+                        if old == self.operand(thread, expect) {
+                            Some(self.operand(thread, src))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(v) = new {
+                    next.memory.insert(a, v);
+                }
+                set_reg(&mut next, dst, old);
+                next.cores[thread].pc += 1;
+            }
+            Instr::Fence => {
+                if !self.buffers[thread].is_empty() {
+                    return None;
+                }
+                next.cores[thread].pc += 1;
+            }
+            Instr::BranchNz { cond, target } => {
+                let taken = self.operand(thread, cond).is_truthy();
+                next.cores[thread].pc = if taken {
+                    target
+                } else {
+                    self.cores[thread].pc + 1
+                };
+            }
+            Instr::Jump { target } => {
+                next.cores[thread].pc = target;
+            }
+            Instr::Halt => {
+                next.cores[thread].halted = true;
+            }
+        }
+        Some(next)
+    }
+
+    /// Drain successors for `thread`'s buffer under the given discipline.
+    fn drains(&self, thread: usize, kind: BufferKind) -> Vec<MachState> {
+        let buffer = &self.buffers[thread];
+        if buffer.is_empty() {
+            return Vec::new();
+        }
+        let drainable: Vec<usize> = match kind {
+            BufferKind::None => Vec::new(),
+            BufferKind::Fifo => vec![0],
+            BufferKind::PerAddress => {
+                // The first entry of each distinct address may drain.
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                for (i, &(a, _)) in buffer.iter().enumerate() {
+                    if !seen.contains(&a) {
+                        seen.push(a);
+                        out.push(i);
+                    }
+                }
+                out
+            }
+        };
+        drainable
+            .into_iter()
+            .map(|i| {
+                let mut next = self.clone();
+                let (a, v) = next.buffers[thread].remove(i).expect("index in range");
+                next.memory.insert(a, v);
+                next
+            })
+            .collect()
+    }
+}
+
+/// Exhaustively enumerates the outcome set of `program` on the machine
+/// with buffering discipline `kind`, exploring at most `state_limit`
+/// distinct states.
+///
+/// # Errors
+///
+/// [`OperError::StateLimit`] when the state space exceeds the limit.
+pub fn enumerate_machine(
+    program: &Program,
+    kind: BufferKind,
+    state_limit: usize,
+) -> Result<OutcomeSet, OperError> {
+    let mut outcomes = OutcomeSet::new();
+    let mut seen: HashSet<MachState> = HashSet::new();
+    let mut frontier = vec![MachState::initial(program)];
+    seen.insert(frontier[0].clone());
+
+    while let Some(state) = frontier.pop() {
+        if seen.len() > state_limit {
+            return Err(OperError::StateLimit { limit: state_limit });
+        }
+        if state.done() {
+            outcomes.insert(state.outcome());
+            continue;
+        }
+        for thread in 0..state.cores.len() {
+            if let Some(next) = state.step_instr(&program.threads()[thread], thread, kind) {
+                if seen.insert(next.clone()) {
+                    frontier.push(next);
+                }
+            }
+            for next in state.drains(thread, kind) {
+                if seen.insert(next.clone()) {
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+/// All outcomes of `program` under interleaving Sequential Consistency.
+///
+/// # Errors
+///
+/// See [`enumerate_machine`].
+pub fn enumerate_sc(program: &Program, state_limit: usize) -> Result<OutcomeSet, OperError> {
+    enumerate_machine(program, BufferKind::None, state_limit)
+}
+
+/// All outcomes of `program` under store-buffer TSO.
+///
+/// # Errors
+///
+/// See [`enumerate_machine`].
+pub fn enumerate_tso(program: &Program, state_limit: usize) -> Result<OutcomeSet, OperError> {
+    enumerate_machine(program, BufferKind::Fifo, state_limit)
+}
+
+/// All outcomes of `program` under per-address store-buffer PSO.
+///
+/// # Errors
+///
+/// See [`enumerate_machine`].
+pub fn enumerate_pso(program: &Program, state_limit: usize) -> Result<OutcomeSet, OperError> {
+    enumerate_machine(program, BufferKind::PerAddress, state_limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::ids::Reg;
+    use samm_core::instr::ThreadProgram;
+
+    const X: u64 = 0;
+    const Y: u64 = 1;
+    const LIMIT: usize = 1_000_000;
+
+    fn st(a: u64, v: u64) -> Instr {
+        Instr::Store {
+            addr: a.into(),
+            val: v.into(),
+        }
+    }
+
+    fn ld(r: usize, a: u64) -> Instr {
+        Instr::Load {
+            dst: Reg::new(r),
+            addr: a.into(),
+        }
+    }
+
+    fn sb() -> Program {
+        Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), ld(0, X)]),
+        ])
+    }
+
+    fn outcome2(a: u64, b: u64) -> Outcome {
+        Outcome::new(vec![vec![Value::new(a)], vec![Value::new(b)]])
+    }
+
+    #[test]
+    fn sc_forbids_sb_zero_zero() {
+        let outcomes = enumerate_sc(&sb(), LIMIT).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(!outcomes.contains(&outcome2(0, 0)));
+    }
+
+    #[test]
+    fn tso_allows_sb_zero_zero() {
+        let outcomes = enumerate_tso(&sb(), LIMIT).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.contains(&outcome2(0, 0)));
+    }
+
+    #[test]
+    fn tso_forwards_from_the_buffer() {
+        // S x,1 ; r0 = L x with the store still buffered: r0 must be 1.
+        let prog = Program::new(vec![ThreadProgram::new(vec![st(X, 1), ld(0, X)])]);
+        let outcomes = enumerate_tso(&prog, LIMIT).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes.iter().next().unwrap().reg(0, Reg::new(0)),
+            Value::new(1)
+        );
+    }
+
+    #[test]
+    fn tso_keeps_mp_intact_but_pso_breaks_it() {
+        let mp = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 42), st(Y, 1)]),
+            ThreadProgram::new(vec![ld(0, Y), ld(1, X)]),
+        ]);
+        let stale = Outcome::new(vec![vec![], vec![Value::new(1), Value::ZERO]]);
+        let tso = enumerate_tso(&mp, LIMIT).unwrap();
+        assert!(!tso.contains(&stale), "TSO preserves store order");
+        let pso = enumerate_pso(&mp, LIMIT).unwrap();
+        assert!(
+            pso.contains(&stale),
+            "PSO reorders stores to different addresses"
+        );
+    }
+
+    #[test]
+    fn pso_preserves_same_address_store_order() {
+        // S x,1 ; S x,2 — a remote reader may never see 2 then 1... as a
+        // single final value check: after both drain, memory must be 2.
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), st(X, 2)]),
+            ThreadProgram::new(vec![ld(0, X), ld(1, X)]),
+        ]);
+        let pso = enumerate_pso(&prog, LIMIT).unwrap();
+        // Coherence: r0=2 then r1=1 must be impossible.
+        assert!(!pso
+            .any(|o| o.reg(1, Reg::new(0)) == Value::new(2)
+                && o.reg(1, Reg::new(1)) == Value::new(1)));
+    }
+
+    #[test]
+    fn fences_drain_buffers() {
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), Instr::Fence, ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), Instr::Fence, ld(0, X)]),
+        ]);
+        let tso = enumerate_tso(&prog, LIMIT).unwrap();
+        assert!(!tso.contains(&outcome2(0, 0)), "fenced SB is SC-like");
+        assert_eq!(tso.len(), 3);
+    }
+
+    #[test]
+    fn figure_10_outcome_is_tso_allowed() {
+        // Thread A: S x,1; S x,2; S z,3; L z; L y.
+        // Thread B: S y,5; S y,7; S z,8; L z; L x.
+        let z = 2u64;
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), st(X, 2), st(z, 3), ld(0, z), ld(1, Y)]),
+            ThreadProgram::new(vec![st(Y, 5), st(Y, 7), st(z, 8), ld(0, z), ld(1, X)]),
+        ]);
+        let tso = enumerate_tso(&prog, LIMIT).unwrap();
+        let target = Outcome::new(vec![
+            vec![Value::new(3), Value::new(5)],
+            vec![Value::new(8), Value::new(1)],
+        ]);
+        assert!(
+            tso.contains(&target),
+            "the paper's Figure 10 execution obeys TSO"
+        );
+        let sc = enumerate_sc(&prog, LIMIT).unwrap();
+        assert!(
+            !sc.contains(&target),
+            "but it is not sequentially consistent"
+        );
+    }
+
+    #[test]
+    fn branches_and_computes_execute() {
+        use samm_core::instr::BinOp;
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            Instr::Mov {
+                dst: Reg::new(0),
+                src: 5u64.into(),
+            },
+            Instr::Binop {
+                dst: Reg::new(1),
+                op: BinOp::Eq,
+                lhs: Operand::Reg(Reg::new(0)),
+                rhs: 5u64.into(),
+            },
+            Instr::BranchNz {
+                cond: Operand::Reg(Reg::new(1)),
+                target: 4,
+            },
+            st(X, 9),
+        ])]);
+        for kind in [BufferKind::None, BufferKind::Fifo, BufferKind::PerAddress] {
+            let outcomes = enumerate_machine(&prog, kind, LIMIT).unwrap();
+            assert_eq!(outcomes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn state_limit_catches_infinite_loops() {
+        // A loop that keeps writing increasing values diverges.
+        use samm_core::instr::BinOp;
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            Instr::Binop {
+                dst: Reg::new(0),
+                op: BinOp::Add,
+                lhs: Operand::Reg(Reg::new(0)),
+                rhs: 1u64.into(),
+            },
+            Instr::Jump { target: 0 },
+        ])]);
+        assert_eq!(
+            enumerate_sc(&prog, 100),
+            Err(OperError::StateLimit { limit: 100 })
+        );
+    }
+
+    #[test]
+    fn cas_mutual_exclusion_holds_on_all_machines() {
+        use samm_core::instr::RmwOp;
+        let cas_thread = || {
+            ThreadProgram::new(vec![Instr::Rmw {
+                dst: Reg::new(0),
+                addr: X.into(),
+                op: RmwOp::Cas {
+                    expect: 0u64.into(),
+                },
+                src: 1u64.into(),
+            }])
+        };
+        let prog = Program::new(vec![cas_thread(), cas_thread()]);
+        for kind in [BufferKind::None, BufferKind::Fifo, BufferKind::PerAddress] {
+            let outcomes = enumerate_machine(&prog, kind, LIMIT).unwrap();
+            assert_eq!(outcomes.len(), 2, "{kind:?}");
+            assert!(!outcomes.contains(&outcome2(0, 0)), "{kind:?}: both won");
+        }
+    }
+
+    #[test]
+    fn tso_atomic_waits_for_the_whole_buffer() {
+        use samm_core::instr::RmwOp;
+        // S y,1 (buffered); swap x — under TSO the swap drains y first, so
+        // a remote observer that saw the swap's store must also see y.
+        let prog = Program::new(vec![
+            ThreadProgram::new(vec![
+                st(Y, 1),
+                Instr::Rmw {
+                    dst: Reg::new(0),
+                    addr: X.into(),
+                    op: RmwOp::Swap,
+                    src: 7u64.into(),
+                },
+            ]),
+            ThreadProgram::new(vec![ld(0, X), ld(1, Y)]),
+        ]);
+        let tso = enumerate_tso(&prog, LIMIT).unwrap();
+        assert!(
+            !tso.any(
+                |o| o.reg(1, Reg::new(0)) == Value::new(7) && o.reg(1, Reg::new(1)) == Value::ZERO
+            ),
+            "TSO: seeing the atomic implies seeing the earlier store"
+        );
+        // PSO drains per address: the y store may still be pending.
+        let pso = enumerate_pso(&prog, LIMIT).unwrap();
+        assert!(
+            pso.any(
+                |o| o.reg(1, Reg::new(0)) == Value::new(7) && o.reg(1, Reg::new(1)) == Value::ZERO
+            ),
+            "PSO: different-address stores still reorder around atomics"
+        );
+    }
+
+    #[test]
+    fn failed_cas_writes_nothing_on_machines() {
+        use samm_core::instr::RmwOp;
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            st(X, 5),
+            Instr::Rmw {
+                dst: Reg::new(0),
+                addr: X.into(),
+                op: RmwOp::Cas {
+                    expect: 9u64.into(),
+                },
+                src: 1u64.into(),
+            },
+            ld(1, X),
+        ])]);
+        for kind in [BufferKind::None, BufferKind::Fifo, BufferKind::PerAddress] {
+            let outcomes = enumerate_machine(&prog, kind, LIMIT).unwrap();
+            assert_eq!(outcomes.len(), 1);
+            let o = outcomes.iter().next().unwrap();
+            assert_eq!(o.reg(0, Reg::new(0)), Value::new(5), "old value returned");
+            assert_eq!(o.reg(0, Reg::new(1)), Value::new(5), "no store happened");
+        }
+    }
+
+    #[test]
+    fn sc_and_tso_agree_on_single_threaded_code() {
+        let prog = Program::new(vec![ThreadProgram::new(vec![
+            st(X, 1),
+            ld(0, X),
+            st(X, 2),
+            ld(1, X),
+        ])]);
+        let sc = enumerate_sc(&prog, LIMIT).unwrap();
+        let tso = enumerate_tso(&prog, LIMIT).unwrap();
+        let pso = enumerate_pso(&prog, LIMIT).unwrap();
+        assert_eq!(sc, tso);
+        assert_eq!(sc, pso);
+        assert_eq!(sc.len(), 1);
+    }
+
+    #[test]
+    fn initial_memory_is_respected() {
+        let mut prog = Program::new(vec![ThreadProgram::new(vec![ld(0, X)])]);
+        prog.set_init(Addr::new(X), Value::new(77));
+        let sc = enumerate_sc(&prog, LIMIT).unwrap();
+        assert_eq!(
+            sc.iter().next().unwrap().reg(0, Reg::new(0)),
+            Value::new(77)
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # samm — Store Atomicity Memory Models
+//!
+//! Umbrella crate for the reproduction of *"Memory Model = Instruction
+//! Reordering + Store Atomicity"* (Arvind & Maessen, ISCA 2006). It
+//! re-exports the workspace crates:
+//!
+//! * [`core`] ([`samm_core`]) — the execution-graph framework: reordering
+//!   axioms, Store Atomicity, behaviour enumeration, speculation, TSO;
+//! * [`litmus`] ([`samm_litmus`]) — litmus-test programs, parser, catalog
+//!   (classic tests + every figure of the paper), expectation harness;
+//! * [`oper`] ([`samm_oper`]) — operational reference models: interleaving
+//!   SC and store-buffer TSO/PSO machines;
+//! * [`coherence`] ([`samm_coherence`]) — a MESI directory protocol
+//!   simulator checked against Store Atomicity (paper section 4.2).
+//!
+//! See the workspace `README.md` for a tour and `examples/` for runnable
+//! entry points.
+
+pub use samm_coherence as coherence;
+pub use samm_core as core;
+pub use samm_litmus as litmus;
+pub use samm_oper as oper;
+
+pub use samm_core::{
+    enumerate, Behavior, EnumConfig, EnumResult, Outcome, OutcomeSet, Policy, Program,
+};

@@ -1,0 +1,126 @@
+//! File-driven litmus tests: every `.litmus` file in `litmus-tests/` is
+//! parsed, compiled and enumerated.
+//!
+//! Corpus convention: `forbid:` conditions must be unobservable under the
+//! *weak* model (and therefore under every store-atomic model); `allow:`
+//! conditions must be observable under *SC* (and therefore under every
+//! model).
+
+use std::fs;
+use std::path::PathBuf;
+
+use samm::core::enumerate::{enumerate, EnumConfig};
+use samm::core::policy::Policy;
+use samm::litmus::{parser, CondKind};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("litmus-tests");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("litmus-tests/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "litmus"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(corpus_files().len() >= 8);
+}
+
+#[test]
+fn every_file_parses_compiles_and_meets_its_conditions() {
+    let config = EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    };
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let source = fs::read_to_string(&path).expect("file readable");
+        let test = parser::parse(&source).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let compiled = test
+            .compile()
+            .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        assert!(!compiled.conditions.is_empty(), "{name}: no conditions");
+
+        let weak = enumerate(&compiled.program, &Policy::weak(), &config)
+            .unwrap_or_else(|e| panic!("{name}: weak enumeration: {e}"))
+            .outcomes;
+        let sc = enumerate(
+            &compiled.program,
+            &Policy::sequential_consistency(),
+            &config,
+        )
+        .unwrap_or_else(|e| panic!("{name}: SC enumeration: {e}"))
+        .outcomes;
+
+        for cond in &compiled.conditions {
+            match cond.kind {
+                CondKind::Forbidden => {
+                    assert!(
+                        !cond.observable_in(&weak),
+                        "{name}: `{}` must be forbidden under the weak model",
+                        cond.text
+                    );
+                    assert!(
+                        !cond.observable_in(&sc),
+                        "{name}: `{}` must be forbidden under SC too",
+                        cond.text
+                    );
+                }
+                CondKind::Allowed => {
+                    assert!(
+                        cond.observable_in(&sc),
+                        "{name}: `{}` must be observable under SC",
+                        cond.text
+                    );
+                    assert!(
+                        cond.observable_in(&weak),
+                        "{name}: `{}` must be observable under the weak model",
+                        cond.text
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_file_round_trips_through_the_printer() {
+    use samm::litmus::printer;
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let source = fs::read_to_string(&path).unwrap();
+        let test = parser::parse(&source).unwrap();
+        let printed = printer::print(&test).unwrap_or_else(|e| panic!("{name}: print: {e}"));
+        let reparsed = parser::parse(&printed).unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
+        assert_eq!(test.threads, reparsed.threads, "{name}");
+        assert_eq!(test.init, reparsed.init, "{name}");
+        assert_eq!(
+            test.compile().unwrap().program,
+            reparsed.compile().unwrap().program,
+            "{name}: compiled programs must coincide"
+        );
+    }
+}
+
+#[test]
+fn files_round_trip_through_the_explorer_pipeline() {
+    // The same pipeline litmus_explorer uses: parse → compile → enumerate →
+    // render DOT for one execution.
+    use samm::core::dot::{render, DotOptions};
+    let path = corpus_files()
+        .into_iter()
+        .find(|p| p.file_name().is_some_and(|n| n == "mp_fenced.litmus"))
+        .expect("mp_fenced.litmus present");
+    let compiled = parser::parse(&fs::read_to_string(path).unwrap())
+        .unwrap()
+        .compile()
+        .unwrap();
+    let result = enumerate(&compiled.program, &Policy::weak(), &EnumConfig::default()).unwrap();
+    assert!(!result.executions.is_empty());
+    let dot = render(&result.executions[0], &DotOptions::default());
+    assert!(dot.contains("digraph"));
+}
