@@ -1,0 +1,81 @@
+//! Serial vs work-stealing parallel enumeration on frontier-heavy
+//! workloads: the largest catalog figures and store-buffering rings.
+//!
+//! Each group benches the serial engine against [`enumerate_parallel`]
+//! at 2, 4 and 8 workers on the same program; equivalence of the two
+//! engines is asserted once per program before timing. Speedup requires
+//! physical cores — on a single-CPU host the parallel rows measure pure
+//! coordination overhead and sit at or below 1x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::instr::Program;
+use samm_core::parallel::enumerate_parallel;
+use samm_core::policy::Policy;
+use samm_litmus::catalog;
+use samm_litmus::rand_prog::sb_chain;
+
+fn config(workers: usize) -> EnumConfig {
+    EnumConfig {
+        parallelism: workers,
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+fn bench_program(c: &mut Criterion, group_name: &str, program: &Program, policy: &Policy) {
+    let serial = enumerate(program, policy, &config(1)).expect("serial enumerates");
+    let parallel = enumerate_parallel(program, policy, &config(4)).expect("parallel enumerates");
+    assert_eq!(
+        serial.outcomes, parallel.outcomes,
+        "{group_name}: engines must agree"
+    );
+    assert_eq!(
+        serial.stats.distinct_executions,
+        parallel.stats.distinct_executions
+    );
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("serial", 1), program, |b, prog| {
+        b.iter(|| {
+            let r = enumerate(prog, policy, &config(1)).expect("enumerates");
+            std::hint::black_box(r.outcomes.len())
+        });
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", workers), program, |b, prog| {
+            b.iter(|| {
+                let r = enumerate_parallel(prog, policy, &config(workers)).expect("enumerates");
+                std::hint::black_box(r.outcomes.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sb_chains(c: &mut Criterion) {
+    for n in [3usize, 4] {
+        bench_program(
+            c,
+            &format!("parallel/sb_chain_{n}"),
+            &sb_chain(n),
+            &Policy::weak(),
+        );
+    }
+}
+
+fn bench_catalog_figures(c: &mut Criterion) {
+    for entry in [catalog::iriw(), catalog::fig7()] {
+        bench_program(
+            c,
+            &format!("parallel/{}", entry.test.name),
+            &entry.test.program,
+            &Policy::weak(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_sb_chains, bench_catalog_figures);
+criterion_main!(benches);

@@ -281,6 +281,50 @@ fn experiment_stats() {
     }
 }
 
+/// E17: the work-stealing parallel enumerator — engine equivalence over
+/// the full catalog, plus wall-clock per worker count.
+fn experiment_parallel() {
+    use std::time::Instant;
+    heading("E17 — work-stealing parallel enumeration (engine equivalence + wall-clock)");
+    let entries = catalog::all();
+    let serial_start = Instant::now();
+    let serial = expect::run_all(&entries, &config()).expect("serial harness succeeds");
+    let serial_time = serial_start.elapsed();
+    println!(
+        "serial:   full catalog ({} entries) in {serial_time:.3?}",
+        entries.len()
+    );
+    for workers in [2, 4, 8] {
+        let par_config = EnumConfig {
+            parallelism: workers,
+            ..config()
+        };
+        let start = Instant::now();
+        let parallel =
+            expect::run_all_parallel(&entries, &par_config).expect("parallel harness succeeds");
+        let elapsed = start.elapsed();
+        let mut rows = 0usize;
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.rows.len(), p.rows.len(), "{}: row count differs", s.name);
+            for (sr, pr) in s.rows.iter().zip(&p.rows) {
+                assert_eq!(
+                    (sr.observed_allowed, sr.outcomes, sr.executions),
+                    (pr.observed_allowed, pr.outcomes, pr.executions),
+                    "{}: engines disagree on `{}`",
+                    s.name,
+                    sr.condition
+                );
+                rows += 1;
+            }
+        }
+        println!(
+            "{workers} workers: full catalog in {elapsed:.3?} ({:.2}x vs serial), all {rows} verdict rows identical",
+            serial_time.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+    println!("(speedup needs multiple cores; on a single-CPU host expect ~1x or below)");
+}
+
 fn main() {
     println!("samm experiments — reproducing 'Memory Model = Instruction Reordering + Store Atomicity' (ISCA 2006)");
     experiment_tables();
@@ -293,5 +337,6 @@ fn main() {
     experiment_coherence();
     experiment_compression();
     experiment_stats();
+    experiment_parallel();
     println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

@@ -5,8 +5,19 @@
 //!
 //! Run with: `cargo run --release -p samm-bench --bin synthesis`
 
-use samm_litmus::synthesis::{diff_models, programs, SynthConfig};
+use std::time::Instant;
+
+use samm_litmus::synthesis::{diff_models, diff_models_parallel, programs, SynthConfig};
 use samm_litmus::ModelSel;
+
+/// Worker count for the parallel sweep: first CLI argument, else the
+/// host's available parallelism.
+fn workers() -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
 
 fn sweep(config: &SynthConfig, label: &str) {
     println!(
@@ -28,7 +39,18 @@ fn sweep(config: &SynthConfig, label: &str) {
         (ModelSel::Weak, ModelSel::WeakSpec),
     ];
     for (strong, weak) in pairs {
+        let serial_start = Instant::now();
         let summary = diff_models(config, &strong.policy(), &weak.policy());
+        let serial_time = serial_start.elapsed();
+        let par_start = Instant::now();
+        let par = diff_models_parallel(config, &strong.policy(), &weak.policy(), workers());
+        let par_time = par_start.elapsed();
+        assert_eq!(par.differing, summary.differing, "engines must agree");
+        assert_eq!(par.first_exemplar, summary.first_exemplar);
+        print!(
+            "  [serial {serial_time:.3?}, {} workers {par_time:.3?}] ",
+            workers()
+        );
         print!(
             "{:>5} vs {:<10} differ on {:>4}/{} programs",
             strong.name(),

@@ -31,6 +31,11 @@ pub struct EnumConfig {
     /// Keep the complete [`Behavior`]s in the result (disable to save
     /// memory when only outcomes matter).
     pub keep_executions: bool,
+    /// Worker threads for [`enumerate_parallel`](crate::parallel::enumerate_parallel):
+    /// `1` runs the exact serial path on the calling thread, `0` means
+    /// "auto" (resolved via [`std::thread::available_parallelism`], like
+    /// the default). The serial [`enumerate`] ignores this field.
+    pub parallelism: usize,
 }
 
 impl Default for EnumConfig {
@@ -40,6 +45,7 @@ impl Default for EnumConfig {
             max_nodes_per_thread: 256,
             dedup: true,
             keep_executions: true,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -60,6 +66,17 @@ pub struct EnumStats {
     pub distinct_executions: usize,
     /// Largest node count of any behaviour's graph.
     pub max_graph_nodes: usize,
+    /// Worker threads the run used (`0` for the serial enumerator).
+    pub workers: usize,
+    /// Behaviours a worker obtained by stealing from another worker's
+    /// deque (parallel runs only; scheduling-dependent).
+    pub steals: usize,
+    /// Dedup-shard lock acquisitions that found the shard already locked
+    /// (parallel runs only; scheduling-dependent).
+    pub shard_contention: usize,
+    /// Times an idle worker woke, found no work anywhere, and yielded
+    /// (parallel runs only; scheduling-dependent).
+    pub idle_wakeups: usize,
 }
 
 /// The full result of enumerating a program's behaviours.
@@ -593,5 +610,143 @@ mod tests {
         .unwrap();
         assert!(r.executions.is_empty());
         assert_eq!(r.outcomes.len(), 4);
+    }
+
+    // --- Behaviors: the lazy stream --------------------------------------
+
+    #[test]
+    fn stream_early_stop_stats_are_consistent() {
+        // Pull exactly one complete behaviour, then stop: the stats must
+        // reflect one distinct execution and strictly less work than a
+        // full drain.
+        let config = EnumConfig::default();
+        let mut stream = behaviors(&sb(), &Policy::weak(), &config).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(first.is_complete());
+        let early = stream.stats();
+        assert_eq!(early.distinct_executions, 1);
+        assert!(early.explored >= 1);
+
+        let full = enumerate(&sb(), &Policy::weak(), &config).unwrap().stats;
+        assert!(early.explored < full.explored);
+        assert!(early.forks <= full.forks);
+
+        // Draining the rest converges on the full-enumeration stats.
+        for item in &mut stream {
+            item.unwrap();
+        }
+        let drained = stream.stats();
+        assert_eq!(drained.explored, full.explored);
+        assert_eq!(drained.forks, full.forks);
+        assert_eq!(drained.deduped, full.deduped);
+        assert_eq!(drained.distinct_executions, full.distinct_executions);
+    }
+
+    #[test]
+    fn stream_yields_every_distinct_execution_once() {
+        let stream = behaviors(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        let mut keys = std::collections::HashSet::new();
+        let mut outcomes = OutcomeSet::default();
+        for item in stream {
+            let behavior = item.unwrap();
+            assert!(
+                keys.insert(behavior.canonical_key()),
+                "deduped stream repeated an execution"
+            );
+            outcomes.insert(behavior.outcome());
+        }
+        let reference = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert_eq!(outcomes, reference.outcomes);
+        assert_eq!(keys.len(), reference.stats.distinct_executions);
+    }
+
+    #[test]
+    fn stream_behavior_limit_fuses_the_iterator() {
+        let config = EnumConfig {
+            max_behaviors: 2,
+            ..EnumConfig::default()
+        };
+        let mut stream = behaviors(&sb(), &Policy::weak(), &config).unwrap();
+        let err = loop {
+            match stream.next() {
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => break e,
+                None => panic!("stream ended without hitting the limit"),
+            }
+        };
+        assert_eq!(err, EnumError::BehaviorLimit { limit: 2 });
+        // After the error the stream is fused: no further items, and the
+        // stats stop moving.
+        let stats = stream.stats();
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+        assert_eq!(stream.stats(), stats);
+    }
+
+    #[test]
+    fn stream_node_limit_fuses_the_iterator() {
+        // T0 loops back to its load only while the loaded value is
+        // non-zero, so the root settles fine and the node limit bites
+        // during a later refinement (resolving the load against T1's
+        // store of 1 unrolls the loop past the limit).
+        let looping = Program::new(vec![
+            ThreadProgram::new(vec![
+                ld(0, X),
+                Instr::BranchNz {
+                    cond: Operand::Reg(Reg::new(0)),
+                    target: 0,
+                },
+            ]),
+            ThreadProgram::new(vec![st(X, 1)]),
+        ]);
+        let config = EnumConfig {
+            max_nodes_per_thread: 6,
+            ..EnumConfig::default()
+        };
+        // The root settles (the limit bites mid-refinement, not at
+        // construction), so the error surfaces from the stream itself.
+        let mut stream = behaviors(&looping, &Policy::weak(), &config).unwrap();
+        let err = loop {
+            match stream.next() {
+                Some(Ok(_)) => continue,
+                Some(Err(e)) => break e,
+                None => panic!("stream ended without hitting the node limit"),
+            }
+        };
+        assert!(matches!(
+            err,
+            EnumError::NodeLimit {
+                thread: 0,
+                limit: 6
+            }
+        ));
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_dedup_off_covers_the_same_outcomes() {
+        // Without dedup the stream may repeat equivalent executions, but
+        // the distinct key set and the outcome set must match the deduped
+        // stream's exactly.
+        let dedup_off = EnumConfig {
+            dedup: false,
+            ..EnumConfig::default()
+        };
+        let mut keys = std::collections::HashSet::new();
+        let mut outcomes = OutcomeSet::default();
+        let mut yielded = 0usize;
+        for item in behaviors(&sb(), &Policy::weak(), &dedup_off).unwrap() {
+            let behavior = item.unwrap();
+            keys.insert(behavior.canonical_key());
+            outcomes.insert(behavior.outcome());
+            yielded += 1;
+        }
+        let reference = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        assert_eq!(outcomes, reference.outcomes);
+        assert_eq!(keys.len(), reference.stats.distinct_executions);
+        assert!(
+            yielded >= keys.len(),
+            "dedup-off must yield at least every distinct execution"
+        );
     }
 }

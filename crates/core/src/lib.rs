@@ -52,6 +52,7 @@
 //! | [`candidates`] | §4 | `candidates(L)` and the load-resolution gate |
 //! | [`exec`] | §4.1 | graph generation + dataflow execution |
 //! | [`mod@enumerate`] | §4.1 | the behaviour-enumeration procedure |
+//! | [`parallel`] | §4.1 | work-stealing parallel enumeration |
 //! | [`serialize`] | §3.1 | serializability: witnesses and validation |
 //! | [`outcome`] | — | final register files, outcome sets |
 //! | [`speculation`] | §5 | aliasing-speculation analysis helpers |
@@ -74,6 +75,7 @@ pub mod graph;
 pub mod ids;
 pub mod instr;
 pub mod outcome;
+pub mod parallel;
 pub mod policy;
 pub mod serialize;
 pub mod speculation;
@@ -88,4 +90,5 @@ pub use exec::Behavior;
 pub use ids::{Addr, NodeId, Reg, ThreadId, Value};
 pub use instr::{BinOp, Instr, Operand, Program, ThreadProgram};
 pub use outcome::{Outcome, OutcomeSet};
+pub use parallel::enumerate_parallel;
 pub use policy::{Constraint, ConstraintTable, OpClass, Policy};

@@ -1,0 +1,619 @@
+//! Work-stealing parallel behaviour enumeration.
+//!
+//! The paper's enumeration procedure (section 4) is embarrassingly
+//! parallel: every behaviour popped from the frontier is refined
+//! independently, and the only shared state is the duplicate filter over
+//! canonical Load-Store-graph keys. [`enumerate_parallel`] exploits this
+//! with a pool of scoped workers sharing
+//!
+//! * a **global frontier** sharded into per-worker deques — owners push
+//!   and pop LIFO (depth-first, keeping the frontier small); idle workers
+//!   steal half a victim's deque FIFO (breadth-first, moving the largest
+//!   subtrees); and
+//! * a **sharded dedup set** — `N` mutex-protected `HashSet<Vec<u8>>`
+//!   shards addressed by a hash of the canonical key, so concurrent
+//!   inserts rarely contend.
+//!
+//! Per-worker [`EnumStats`] and outcome/execution sets are merged after
+//! the pool drains. The merged result is **deterministic**: outcomes live
+//! in an ordered set and executions are sorted by canonical key, so the
+//! result is byte-identical run-to-run and its outcome/execution *sets*
+//! equal the serial enumerator's exactly (the serial engine reports
+//! executions in discovery order instead — same set, different order).
+//! Scheduling-dependent counters ([`EnumStats::steals`],
+//! [`EnumStats::shard_contention`], [`EnumStats::idle_wakeups`]) are the
+//! only nondeterministic outputs.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::enumerate::{enumerate, EnumConfig, EnumResult, EnumStats};
+use crate::error::EnumError;
+use crate::exec::{Behavior, StepError};
+use crate::instr::Program;
+use crate::outcome::OutcomeSet;
+use crate::policy::Policy;
+
+/// Duplicate filter sharded over `shards.len()` mutex-protected sets.
+///
+/// A behaviour's canonical key picks its shard by hash, so two workers
+/// only contend when their keys collide on a shard. `try_lock` first and
+/// count the fallback, making contention observable in the merged stats.
+struct ShardedSeen {
+    shards: Vec<Mutex<HashSet<Vec<u8>>>>,
+}
+
+impl ShardedSeen {
+    fn new(shard_count: usize) -> Self {
+        ShardedSeen {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Inserts `key`; returns `(was_new, contended)`.
+    fn insert(&self, key: Vec<u8>) -> (bool, bool) {
+        let shard = &self.shards[self.shard_of(&key)];
+        match shard.try_lock() {
+            Ok(mut set) => (set.insert(key), false),
+            Err(std::sync::TryLockError::WouldBlock) => (
+                shard.lock().expect("dedup shard poisoned").insert(key),
+                true,
+            ),
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("dedup shard poisoned"),
+        }
+    }
+}
+
+/// Frontier state shared by the worker pool.
+struct Pool {
+    /// One deque per worker; the owner pushes/pops the back, thieves
+    /// steal from the front.
+    deques: Vec<Mutex<VecDeque<Behavior>>>,
+    /// Behaviours alive: queued in some deque or being refined by a
+    /// worker. The pool drains when this reaches zero.
+    pending: AtomicUsize,
+    /// Global pop counter enforcing [`EnumConfig::max_behaviors`].
+    explored: AtomicUsize,
+    /// Raised on the first error; workers exit promptly.
+    stop: AtomicBool,
+    /// The first error raised, if any.
+    error: Mutex<Option<EnumError>>,
+    seen: ShardedSeen,
+}
+
+impl Pool {
+    fn fail(&self, error: EnumError) {
+        let mut slot = self.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Pops from `worker`'s own deque, or steals half of the first
+    /// non-empty victim's deque (round-robin from `worker + 1`). Returns
+    /// `None` when every deque looks empty.
+    fn acquire(&self, worker: usize, stats: &mut EnumStats) -> Option<Behavior> {
+        if let Some(b) = self.deques[worker]
+            .lock()
+            .expect("deque poisoned")
+            .pop_back()
+        {
+            return Some(b);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            let mut loot = {
+                let mut deque = self.deques[victim].lock().expect("deque poisoned");
+                let take = deque.len().div_ceil(2);
+                deque.drain(..take).collect::<VecDeque<Behavior>>()
+            };
+            if let Some(b) = loot.pop_front() {
+                stats.steals += 1;
+                if !loot.is_empty() {
+                    self.deques[worker]
+                        .lock()
+                        .expect("deque poisoned")
+                        .extend(loot);
+                }
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+/// Everything one worker accumulated; merged after the pool drains.
+#[derive(Default)]
+struct WorkerResult {
+    stats: EnumStats,
+    outcomes: OutcomeSet,
+    /// Keyed executions, so the merge can sort canonically.
+    executions: Vec<(Vec<u8>, Behavior)>,
+}
+
+/// Refines one behaviour: counts it, emits it if complete, otherwise
+/// forks every `(resolvable load, candidate store)` choice onto the
+/// worker's own deque.
+#[allow(clippy::too_many_arguments)]
+fn refine(
+    behavior: Behavior,
+    worker: usize,
+    pool: &Pool,
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+    may_roll_back: bool,
+    local: &mut WorkerResult,
+) {
+    let explored = pool.explored.fetch_add(1, Ordering::Relaxed) + 1;
+    if explored > config.max_behaviors {
+        pool.fail(EnumError::BehaviorLimit {
+            limit: config.max_behaviors,
+        });
+        return;
+    }
+    local.stats.explored += 1;
+    local.stats.max_graph_nodes = local.stats.max_graph_nodes.max(behavior.graph().len());
+
+    if behavior.is_complete() {
+        local.stats.distinct_executions += 1;
+        local.outcomes.insert(behavior.outcome());
+        if config.keep_executions {
+            local.executions.push((behavior.canonical_key(), behavior));
+        }
+        return;
+    }
+
+    let loads = behavior.resolvable_loads();
+    if loads.is_empty() {
+        pool.fail(EnumError::Stuck);
+        return;
+    }
+    for load in loads {
+        for store in behavior.candidates(load) {
+            if pool.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            local.stats.forks += 1;
+            let mut fork = behavior.clone();
+            let step = fork
+                .resolve_load(load, store)
+                .and_then(|()| fork.settle(program, policy, config.max_nodes_per_thread));
+            match step {
+                Ok(()) => {
+                    if config.dedup {
+                        let (new, contended) = pool.seen.insert(fork.canonical_key());
+                        if contended {
+                            local.stats.shard_contention += 1;
+                        }
+                        if !new {
+                            local.stats.deduped += 1;
+                            continue;
+                        }
+                    }
+                    pool.pending.fetch_add(1, Ordering::SeqCst);
+                    pool.deques[worker]
+                        .lock()
+                        .expect("deque poisoned")
+                        .push_back(fork);
+                }
+                Err(StepError::Inconsistent(e)) => {
+                    if may_roll_back {
+                        local.stats.rolled_back += 1;
+                    } else {
+                        pool.fail(EnumError::UnexpectedCycle(e));
+                        return;
+                    }
+                }
+                Err(StepError::NodeLimit { thread, limit }) => {
+                    pool.fail(EnumError::NodeLimit { thread, limit });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    pool: &Pool,
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+    may_roll_back: bool,
+) -> WorkerResult {
+    let mut local = WorkerResult::default();
+    loop {
+        if pool.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match pool.acquire(worker, &mut local.stats) {
+            Some(behavior) => {
+                refine(
+                    behavior,
+                    worker,
+                    pool,
+                    program,
+                    policy,
+                    config,
+                    may_roll_back,
+                    &mut local,
+                );
+                // The parent is retired only after its forks are queued,
+                // so `pending` can never dip to zero while refinements
+                // are still owed.
+                pool.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if pool.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                local.stats.idle_wakeups += 1;
+                std::thread::yield_now();
+            }
+        }
+    }
+    local
+}
+
+/// The worker count [`enumerate_parallel`] uses for `config`: the
+/// explicit [`EnumConfig::parallelism`] if nonzero, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn effective_parallelism(config: &EnumConfig) -> usize {
+    if config.parallelism != 0 {
+        config.parallelism
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Enumerates every behaviour of `program` under `policy` on a
+/// work-stealing thread pool of [`EnumConfig::parallelism`] workers.
+///
+/// Equivalent to [`enumerate`] — the outcome set, execution set, and the
+/// deterministic statistics (`explored`, `forks`, `deduped`,
+/// `rolled_back`, `distinct_executions`, `max_graph_nodes`) match the
+/// serial enumerator exactly — but wall-clock scales with workers on
+/// large frontiers. `parallelism == 1` runs the serial enumerator on the
+/// calling thread (no pool). Executions in the result are sorted by
+/// canonical key regardless of worker count, so the result is
+/// byte-identical run-to-run.
+///
+/// # Errors
+///
+/// The same failures as [`enumerate`]: [`EnumError::NodeLimit`],
+/// [`EnumError::BehaviorLimit`], [`EnumError::UnexpectedCycle`],
+/// [`EnumError::Stuck`]. When several workers fail concurrently, the
+/// first error raised wins.
+///
+/// # Examples
+///
+/// ```
+/// use samm_core::enumerate::{enumerate, EnumConfig};
+/// use samm_core::parallel::enumerate_parallel;
+/// use samm_core::instr::{Instr, Program, ThreadProgram};
+/// use samm_core::ids::Reg;
+/// use samm_core::policy::Policy;
+///
+/// let t = |a: u64, b: u64| ThreadProgram::new(vec![
+///     Instr::Store { addr: a.into(), val: 1u64.into() },
+///     Instr::Load { dst: Reg::new(0), addr: b.into() },
+/// ]);
+/// let sb = Program::new(vec![t(0, 1), t(1, 0)]);
+/// let config = EnumConfig { parallelism: 4, ..EnumConfig::default() };
+/// let par = enumerate_parallel(&sb, &Policy::weak(), &config).unwrap();
+/// let ser = enumerate(&sb, &Policy::weak(), &config).unwrap();
+/// assert_eq!(par.outcomes, ser.outcomes);
+/// assert_eq!(par.stats.distinct_executions, ser.stats.distinct_executions);
+/// ```
+pub fn enumerate_parallel(
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+) -> Result<EnumResult, EnumError> {
+    let workers = effective_parallelism(config);
+    if workers <= 1 {
+        let mut result = enumerate(program, policy, config)?;
+        result.stats.workers = 1;
+        sort_executions(&mut result);
+        return Ok(result);
+    }
+
+    let may_roll_back = policy.alias_speculation() || policy.has_bypass() || program.uses_rmw();
+    let mut root = Behavior::new(program);
+    match root.settle(program, policy, config.max_nodes_per_thread) {
+        Ok(()) => {}
+        Err(StepError::NodeLimit { thread, limit }) => {
+            return Err(EnumError::NodeLimit { thread, limit })
+        }
+        Err(StepError::Inconsistent(e)) => return Err(EnumError::UnexpectedCycle(e)),
+    }
+
+    // Over-shard relative to the worker count so concurrent inserts of
+    // different keys almost never share a lock.
+    let pool = Pool {
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(1),
+        explored: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        error: Mutex::new(None),
+        seen: ShardedSeen::new((workers * 8).next_power_of_two()),
+    };
+    if config.dedup {
+        pool.seen.insert(root.canonical_key());
+    }
+    pool.deques[0]
+        .lock()
+        .expect("deque poisoned")
+        .push_back(root);
+
+    let locals: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    worker_loop(worker, pool, program, policy, config, may_roll_back)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    });
+
+    if let Some(error) = pool.error.lock().expect("error slot poisoned").take() {
+        return Err(error);
+    }
+
+    let mut result = EnumResult {
+        stats: EnumStats {
+            workers,
+            ..EnumStats::default()
+        },
+        ..EnumResult::default()
+    };
+    let mut keyed: Vec<(Vec<u8>, Behavior)> = Vec::new();
+    for local in locals {
+        result.stats.explored += local.stats.explored;
+        result.stats.forks += local.stats.forks;
+        result.stats.deduped += local.stats.deduped;
+        result.stats.rolled_back += local.stats.rolled_back;
+        result.stats.distinct_executions += local.stats.distinct_executions;
+        result.stats.max_graph_nodes = result
+            .stats
+            .max_graph_nodes
+            .max(local.stats.max_graph_nodes);
+        result.stats.steals += local.stats.steals;
+        result.stats.shard_contention += local.stats.shard_contention;
+        result.stats.idle_wakeups += local.stats.idle_wakeups;
+        result.outcomes.extend(local.outcomes.iter().cloned());
+        keyed.extend(local.executions);
+    }
+
+    // Without dedup, equivalent complete behaviours are reached through
+    // several resolution orders; collapse them exactly as the serial
+    // enumerator does.
+    if !config.dedup {
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        keyed.dedup_by(|a, b| a.0 == b.0);
+        if config.keep_executions {
+            result.stats.distinct_executions = keyed.len();
+        }
+    } else {
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    result.executions = keyed.into_iter().map(|(_, b)| b).collect();
+    Ok(result)
+}
+
+/// Sorts kept executions by canonical key (the parallel engine's
+/// deterministic order).
+fn sort_executions(result: &mut EnumResult) {
+    result
+        .executions
+        .sort_by_cached_key(Behavior::canonical_key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::instr::{Instr, ThreadProgram};
+
+    const X: u64 = 0;
+    const Y: u64 = 1;
+
+    fn st(a: u64, v: u64) -> Instr {
+        Instr::Store {
+            addr: a.into(),
+            val: v.into(),
+        }
+    }
+
+    fn ld(r: usize, a: u64) -> Instr {
+        Instr::Load {
+            dst: Reg::new(r),
+            addr: a.into(),
+        }
+    }
+
+    fn sb() -> Program {
+        Program::new(vec![
+            ThreadProgram::new(vec![st(X, 1), ld(0, Y)]),
+            ThreadProgram::new(vec![st(Y, 1), ld(0, X)]),
+        ])
+    }
+
+    /// A 3-thread store-buffering ring — a frontier big enough that every
+    /// worker gets work.
+    fn sb_ring() -> Program {
+        let t = |mine: u64, theirs: u64| ThreadProgram::new(vec![st(mine, 1), ld(0, theirs)]);
+        Program::new(vec![t(0, 1), t(1, 2), t(2, 0)])
+    }
+
+    fn with_workers(workers: usize) -> EnumConfig {
+        EnumConfig {
+            parallelism: workers,
+            ..EnumConfig::default()
+        }
+    }
+
+    fn execution_keys(result: &EnumResult) -> Vec<Vec<u8>> {
+        result
+            .executions
+            .iter()
+            .map(Behavior::canonical_key)
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_across_models_and_worker_counts() {
+        for prog in [sb(), sb_ring()] {
+            for policy in [
+                Policy::sequential_consistency(),
+                Policy::tso(),
+                Policy::pso(),
+                Policy::weak(),
+                Policy::weak().with_alias_speculation(true),
+            ] {
+                let serial = enumerate(&prog, &policy, &EnumConfig::default()).unwrap();
+                for workers in [1, 2, 4, 8] {
+                    let par = enumerate_parallel(&prog, &policy, &with_workers(workers)).unwrap();
+                    assert_eq!(par.outcomes, serial.outcomes, "{} outcomes", policy.name());
+                    assert_eq!(
+                        par.stats.distinct_executions,
+                        serial.stats.distinct_executions,
+                        "{} executions at {workers} workers",
+                        policy.name()
+                    );
+                    assert_eq!(par.stats.explored, serial.stats.explored);
+                    assert_eq!(par.stats.forks, serial.stats.forks);
+                    assert_eq!(par.stats.deduped, serial.stats.deduped);
+                    assert_eq!(par.stats.rolled_back, serial.stats.rolled_back);
+                    assert_eq!(par.stats.max_graph_nodes, serial.stats.max_graph_nodes);
+                    let mut serial_keys: Vec<Vec<u8>> = serial
+                        .executions
+                        .iter()
+                        .map(Behavior::canonical_key)
+                        .collect();
+                    serial_keys.sort();
+                    assert_eq!(execution_keys(&par), serial_keys);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_byte_identical_run_to_run() {
+        let prog = sb_ring();
+        let config = with_workers(4);
+        let first = enumerate_parallel(&prog, &Policy::weak(), &config).unwrap();
+        for _ in 0..5 {
+            let again = enumerate_parallel(&prog, &Policy::weak(), &config).unwrap();
+            assert_eq!(again.outcomes, first.outcomes);
+            assert_eq!(execution_keys(&again), execution_keys(&first));
+            assert_eq!(
+                again.stats.distinct_executions,
+                first.stats.distinct_executions
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_off_matches_serial_collapse() {
+        let config = EnumConfig {
+            dedup: false,
+            parallelism: 4,
+            ..EnumConfig::default()
+        };
+        let serial = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig {
+                dedup: false,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap();
+        let par = enumerate_parallel(&sb(), &Policy::weak(), &config).unwrap();
+        assert_eq!(par.outcomes, serial.outcomes);
+        assert_eq!(
+            par.stats.distinct_executions,
+            serial.stats.distinct_executions
+        );
+        assert_eq!(par.executions.len(), serial.executions.len());
+    }
+
+    #[test]
+    fn behavior_limit_propagates() {
+        let err = enumerate_parallel(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig {
+                max_behaviors: 2,
+                parallelism: 4,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumError::BehaviorLimit { limit: 2 });
+    }
+
+    #[test]
+    fn node_limit_propagates() {
+        let looping = Program::new(vec![ThreadProgram::new(vec![
+            st(X, 1),
+            Instr::Jump { target: 0 },
+        ])]);
+        let err = enumerate_parallel(
+            &looping,
+            &Policy::weak(),
+            &EnumConfig {
+                max_nodes_per_thread: 4,
+                parallelism: 4,
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EnumError::NodeLimit {
+                thread: 0,
+                limit: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn parallel_stats_are_observable() {
+        let r = enumerate_parallel(&sb_ring(), &Policy::weak(), &with_workers(4)).unwrap();
+        assert_eq!(r.stats.workers, 4);
+        // Steals / contention / wakeups are scheduling-dependent, so only
+        // sanity-check that the counters exist and the run made progress.
+        assert!(r.stats.explored > 0);
+        let serial = enumerate_parallel(&sb(), &Policy::weak(), &with_workers(1)).unwrap();
+        assert_eq!(serial.stats.workers, 1);
+        assert_eq!(serial.stats.steals, 0);
+    }
+
+    #[test]
+    fn zero_parallelism_means_auto() {
+        let auto = with_workers(0);
+        assert!(effective_parallelism(&auto) >= 1);
+        let r = enumerate_parallel(&sb(), &Policy::weak(), &auto).unwrap();
+        assert_eq!(r.outcomes.len(), 4);
+    }
+}

@@ -9,11 +9,18 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::enumerate::{enumerate, EnumConfig, EnumResult};
 use samm_core::error::EnumError;
+use samm_core::instr::Program;
 use samm_core::outcome::OutcomeSet;
+use samm_core::parallel::enumerate_parallel;
+use samm_core::policy::Policy;
 
 use crate::catalog::{CatalogEntry, ModelSel};
+
+/// An enumeration engine: the serial [`enumerate`] or the work-stealing
+/// [`enumerate_parallel`].
+type Engine = fn(&Program, &Policy, &EnumConfig) -> Result<EnumResult, EnumError>;
 
 /// One evaluated verdict.
 #[derive(Debug, Clone)]
@@ -101,9 +108,33 @@ impl fmt::Display for EntryReport {
 ///
 /// Propagates enumeration failures.
 pub fn run_entry(entry: &CatalogEntry, config: &EnumConfig) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate)
+}
+
+/// Like [`run_entry`], but enumerating on the work-stealing pool
+/// ([`enumerate_parallel`] with [`EnumConfig::parallelism`] workers).
+/// Verdicts, outcome counts and execution counts are identical to
+/// [`run_entry`]'s — the engines are equivalent — only wall-clock
+/// differs.
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry_parallel(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate_parallel)
+}
+
+fn run_entry_with(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    engine: Engine,
+) -> Result<EntryReport, EnumError> {
     let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize)> = BTreeMap::new();
     for model in entry.models() {
-        let result = enumerate(&entry.test.program, &model.policy(), config)?;
+        let result = engine(&entry.test.program, &model.policy(), config)?;
         outcome_cache.insert(model, (result.outcomes, result.stats.distinct_executions));
     }
     let rows = entry
@@ -140,6 +171,22 @@ pub fn run_all(
     entries.iter().map(|e| run_entry(e, config)).collect()
 }
 
+/// Runs a set of entries on the work-stealing pool; see
+/// [`run_entry_parallel`].
+///
+/// # Errors
+///
+/// Stops at the first enumeration failure.
+pub fn run_all_parallel(
+    entries: &[CatalogEntry],
+    config: &EnumConfig,
+) -> Result<Vec<EntryReport>, EnumError> {
+    entries
+        .iter()
+        .map(|e| run_entry_parallel(e, config))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +213,25 @@ mod tests {
         assert!(text.contains("SB"));
         assert!(text.contains("[ok]"));
         assert!(text.contains("forbidden"));
+    }
+
+    #[test]
+    fn parallel_harness_agrees_with_serial() {
+        let config = EnumConfig {
+            parallelism: 4,
+            ..fast_config()
+        };
+        for entry in [catalog::sb(), catalog::iriw(), catalog::fig10()] {
+            let serial = run_entry(&entry, &config).unwrap();
+            let parallel = run_entry_parallel(&entry, &config).unwrap();
+            assert!(parallel.all_pass(), "{parallel}");
+            assert_eq!(serial.rows.len(), parallel.rows.len());
+            for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+                assert_eq!(s.observed_allowed, p.observed_allowed);
+                assert_eq!(s.outcomes, p.outcomes);
+                assert_eq!(s.executions, p.executions);
+            }
+        }
     }
 
     #[test]

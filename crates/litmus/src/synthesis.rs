@@ -146,27 +146,10 @@ pub fn diff_models(
     stronger: &samm_core::policy::Policy,
     weaker: &samm_core::policy::Policy,
 ) -> DiffSummary {
-    use samm_core::enumerate::{enumerate, EnumConfig};
-    let enum_config = EnumConfig {
-        keep_executions: false,
-        ..EnumConfig::default()
-    };
     let mut summary = DiffSummary::default();
     for (i, program) in programs(config).enumerate() {
         summary.programs += 1;
-        let a = enumerate(&program, stronger, &enum_config)
-            .expect("enumeration succeeds")
-            .outcomes;
-        let b = enumerate(&program, weaker, &enum_config)
-            .expect("enumeration succeeds")
-            .outcomes;
-        assert!(
-            a.is_subset(&b),
-            "program #{i}: {} ⊆ {} violated",
-            stronger.name(),
-            weaker.name()
-        );
-        if a != b {
+        if program_differs(i, &program, stronger, weaker) {
             summary.differing += 1;
             if summary.first_exemplar.is_none() {
                 summary.first_exemplar = Some(i);
@@ -174,6 +157,95 @@ pub fn diff_models(
         }
     }
     summary
+}
+
+/// Like [`diff_models`], but sweeping the family on `workers` scoped
+/// threads, each diffing a contiguous chunk of template indices with the
+/// serial enumerator. The family is data-parallel — one program per
+/// index — so chunking at the template level beats parallelising each
+/// (tiny) enumeration. The merged summary is identical to
+/// [`diff_models`]'s: counts are sums and `first_exemplar` is the
+/// minimum over chunks.
+///
+/// # Panics
+///
+/// Panics if inclusion is violated (a model bug) or enumeration fails.
+pub fn diff_models_parallel(
+    config: &SynthConfig,
+    stronger: &samm_core::policy::Policy,
+    weaker: &samm_core::policy::Policy,
+    workers: usize,
+) -> DiffSummary {
+    let family: Vec<Program> = programs(config).collect();
+    let workers = workers.max(1).min(family.len().max(1));
+    if workers <= 1 {
+        return diff_models(config, stronger, weaker);
+    }
+    let chunk_len = family.len().div_ceil(workers);
+    let partials: Vec<DiffSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = family
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, chunk)| {
+                scope.spawn(move || {
+                    let base = c * chunk_len;
+                    let mut part = DiffSummary::default();
+                    for (offset, program) in chunk.iter().enumerate() {
+                        let i = base + offset;
+                        part.programs += 1;
+                        if program_differs(i, program, stronger, weaker) {
+                            part.differing += 1;
+                            if part.first_exemplar.is_none() {
+                                part.first_exemplar = Some(i);
+                            }
+                        }
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("diff worker panicked"))
+            .collect()
+    });
+    let mut summary = DiffSummary::default();
+    for part in partials {
+        summary.programs += part.programs;
+        summary.differing += part.differing;
+        summary.first_exemplar = match (summary.first_exemplar, part.first_exemplar) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+    summary
+}
+
+/// Diffs one program of the family; panics on an inclusion violation.
+fn program_differs(
+    index: usize,
+    program: &Program,
+    stronger: &samm_core::policy::Policy,
+    weaker: &samm_core::policy::Policy,
+) -> bool {
+    use samm_core::enumerate::{enumerate, EnumConfig};
+    let enum_config = EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    };
+    let a = enumerate(program, stronger, &enum_config)
+        .expect("enumeration succeeds")
+        .outcomes;
+    let b = enumerate(program, weaker, &enum_config)
+        .expect("enumeration succeeds")
+        .outcomes;
+    assert!(
+        a.is_subset(&b),
+        "program #{index}: {} ⊆ {} violated",
+        stronger.name(),
+        weaker.name()
+    );
+    a != b
 }
 
 #[cfg(test)]
@@ -210,6 +282,26 @@ mod tests {
         let summary = diff_models(&cfg, &Policy::sequential_consistency(), &Policy::tso());
         assert!(summary.differing > 0);
         assert_eq!(summary.programs, 256);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let cfg = SynthConfig::default();
+        let serial = diff_models(&cfg, &Policy::sequential_consistency(), &Policy::weak());
+        for workers in [1, 2, 4, 7] {
+            let par = diff_models_parallel(
+                &cfg,
+                &Policy::sequential_consistency(),
+                &Policy::weak(),
+                workers,
+            );
+            assert_eq!(par.programs, serial.programs, "workers={workers}");
+            assert_eq!(par.differing, serial.differing, "workers={workers}");
+            assert_eq!(
+                par.first_exemplar, serial.first_exemplar,
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Serial vs work-stealing parallel enumeration, measured.
+//!
+//! Enumerates frontier-heavy workloads (store-buffering rings and the
+//! largest catalog figures) with the serial engine and with
+//! [`enumerate_parallel`] at increasing worker counts, printing
+//! wall-clock times, speedups, and the work-stealing counters — the
+//! quickstart for `samm_core::parallel`.
+//!
+//! Run with: `cargo run --release --example parallel_enumeration`
+
+use std::time::{Duration, Instant};
+
+use samm::core::enumerate::{enumerate, EnumConfig};
+use samm::core::parallel::enumerate_parallel;
+use samm::core::policy::Policy;
+use samm::litmus::catalog;
+use samm::litmus::rand_prog::sb_chain;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+fn sweep(label: &str, program: &samm::core::instr::Program, policy: &Policy) {
+    let serial_config = EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    };
+    let (serial, serial_time) =
+        time(|| enumerate(program, policy, &serial_config).expect("serial enumeration succeeds"));
+    println!(
+        "\n{label} under {}: {} outcomes, {} executions, {} behaviours explored",
+        policy.name(),
+        serial.outcomes.len(),
+        serial.stats.distinct_executions,
+        serial.stats.explored,
+    );
+    println!(
+        "  {:>8}  {:>10}  {:>8}  {:>8} {:>10} {:>8}",
+        "workers", "wall", "speedup", "steals", "contention", "idle"
+    );
+    println!("  {:>8}  {:>10.3?}  {:>7.2}x", "serial", serial_time, 1.0);
+    for workers in [2, 4, 8] {
+        let config = EnumConfig {
+            parallelism: workers,
+            keep_executions: false,
+            ..EnumConfig::default()
+        };
+        let (par, par_time) = time(|| {
+            enumerate_parallel(program, policy, &config).expect("parallel enumeration succeeds")
+        });
+        assert_eq!(par.outcomes, serial.outcomes, "engines must agree");
+        assert_eq!(
+            par.stats.distinct_executions,
+            serial.stats.distinct_executions
+        );
+        println!(
+            "  {:>8}  {:>10.3?}  {:>7.2}x  {:>8} {:>10} {:>8}",
+            workers,
+            par_time,
+            serial_time.as_secs_f64() / par_time.as_secs_f64(),
+            par.stats.steals,
+            par.stats.shard_contention,
+            par.stats.idle_wakeups,
+        );
+    }
+}
+
+fn main() {
+    println!("samm parallel enumeration — serial vs work-stealing workers");
+    sweep("sb_chain(4)", &sb_chain(4), &Policy::weak());
+    sweep("sb_chain(5)", &sb_chain(5), &Policy::weak());
+    let iriw = catalog::iriw();
+    sweep("IRIW", &iriw.test.program, &Policy::weak());
+    let fig7 = catalog::fig7();
+    sweep("fig7", &fig7.test.program, &Policy::weak());
+}

@@ -1,0 +1,172 @@
+//! Golden enumeration regression: hard-coded outcome and
+//! distinct-execution counts for every paper figure and every atomics
+//! test of the catalog, across the full model chain, checked under BOTH
+//! the serial enumerator and the work-stealing parallel one.
+//!
+//! These counts are the repository's measured ground truth (they also
+//! back `EXPERIMENTS.md`); any enumeration change that shifts them must
+//! update this table deliberately. The parallel engine must reproduce
+//! them *exactly* — same outcome sets, same deterministic statistics —
+//! at any worker count.
+
+use samm::core::enumerate::{enumerate, EnumConfig, EnumResult};
+use samm::core::parallel::enumerate_parallel;
+use samm::litmus::{catalog, CatalogEntry, ModelSel};
+
+/// `(test name, model, |outcomes|, distinct executions)` for every
+/// paper figure (3, 4, 5, 7, 8, 10) and every atomics test.
+const GOLDEN: &[(&str, ModelSel, usize, usize)] = &[
+    ("fig3", ModelSel::Sc, 3, 3),
+    ("fig3", ModelSel::Tso, 3, 3),
+    ("fig3", ModelSel::Pso, 3, 3),
+    ("fig3", ModelSel::Weak, 3, 3),
+    ("fig3", ModelSel::WeakSpec, 3, 3),
+    ("fig4", ModelSel::Sc, 5, 5),
+    ("fig4", ModelSel::Tso, 5, 5),
+    ("fig4", ModelSel::Pso, 5, 5),
+    ("fig4", ModelSel::Weak, 5, 5),
+    ("fig4", ModelSel::WeakSpec, 5, 5),
+    ("fig5", ModelSel::Sc, 19, 19),
+    ("fig5", ModelSel::Tso, 19, 19),
+    ("fig5", ModelSel::Pso, 19, 19),
+    ("fig5", ModelSel::Weak, 24, 24),
+    ("fig5", ModelSel::WeakSpec, 24, 24),
+    ("fig7", ModelSel::Sc, 5, 5),
+    ("fig7", ModelSel::Tso, 5, 5),
+    ("fig7", ModelSel::Pso, 5, 5),
+    ("fig7", ModelSel::Weak, 5, 5),
+    ("fig7", ModelSel::WeakSpec, 5, 5),
+    ("fig8", ModelSel::Sc, 12, 12),
+    ("fig8", ModelSel::Tso, 12, 12),
+    ("fig8", ModelSel::Pso, 12, 12),
+    ("fig8", ModelSel::Weak, 12, 12),
+    ("fig8", ModelSel::WeakSpec, 15, 15),
+    ("fig10", ModelSel::Sc, 7, 7),
+    ("fig10", ModelSel::Tso, 15, 15),
+    ("fig10", ModelSel::Pso, 27, 27),
+    ("fig10", ModelSel::Weak, 27, 27),
+    ("fig10", ModelSel::WeakSpec, 27, 27),
+    ("CAS-mutex", ModelSel::Sc, 2, 2),
+    ("CAS-mutex", ModelSel::Tso, 2, 2),
+    ("CAS-mutex", ModelSel::Pso, 2, 2),
+    ("CAS-mutex", ModelSel::Weak, 2, 2),
+    ("CAS-mutex", ModelSel::WeakSpec, 2, 2),
+    ("FAA-incr", ModelSel::Sc, 2, 2),
+    ("FAA-incr", ModelSel::Tso, 2, 2),
+    ("FAA-incr", ModelSel::Pso, 2, 2),
+    ("FAA-incr", ModelSel::Weak, 2, 2),
+    ("FAA-incr", ModelSel::WeakSpec, 2, 2),
+    ("broken-incr", ModelSel::Sc, 3, 3),
+    ("broken-incr", ModelSel::Tso, 3, 3),
+    ("broken-incr", ModelSel::Pso, 3, 3),
+    ("broken-incr", ModelSel::Weak, 3, 3),
+    ("broken-incr", ModelSel::WeakSpec, 3, 3),
+    ("SB+swap", ModelSel::Sc, 3, 3),
+    ("SB+swap", ModelSel::Tso, 3, 3),
+    ("SB+swap", ModelSel::Pso, 3, 3),
+    ("SB+swap", ModelSel::Weak, 4, 4),
+    ("SB+swap", ModelSel::WeakSpec, 4, 4),
+];
+
+fn entries() -> Vec<CatalogEntry> {
+    let mut out = catalog::paper_figures();
+    out.extend([
+        catalog::cas_mutex(),
+        catalog::atomic_increment(),
+        catalog::broken_increment(),
+        catalog::swap_sb(),
+    ]);
+    out
+}
+
+fn entry_by_name(name: &str) -> CatalogEntry {
+    entries()
+        .into_iter()
+        .find(|e| e.test.name == name)
+        .unwrap_or_else(|| panic!("no catalog entry named {name}"))
+}
+
+fn check_against_golden(label: &str, run: impl Fn(&CatalogEntry, ModelSel) -> EnumResult) {
+    for &(name, model, outcomes, executions) in GOLDEN {
+        let result = run(&entry_by_name(name), model);
+        assert_eq!(
+            result.outcomes.len(),
+            outcomes,
+            "{label}: {name} under {} outcome count drifted",
+            model.name()
+        );
+        assert_eq!(
+            result.stats.distinct_executions,
+            executions,
+            "{label}: {name} under {} execution count drifted",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn serial_counts_match_golden() {
+    check_against_golden("serial", |entry, model| {
+        enumerate(&entry.test.program, &model.policy(), &EnumConfig::default())
+            .expect("enumeration succeeds")
+    });
+}
+
+#[test]
+fn parallel_counts_match_golden() {
+    let config = EnumConfig {
+        parallelism: 4,
+        ..EnumConfig::default()
+    };
+    check_against_golden("parallel", |entry, model| {
+        enumerate_parallel(&entry.test.program, &model.policy(), &config)
+            .expect("enumeration succeeds")
+    });
+}
+
+/// The engines agree not just on counts but on the outcome *sets* and
+/// the full deterministic statistics, for every golden entry and model.
+#[test]
+fn engines_agree_on_sets_and_deterministic_stats() {
+    let parallel_config = EnumConfig {
+        parallelism: 4,
+        ..EnumConfig::default()
+    };
+    for entry in entries() {
+        for model in [
+            ModelSel::Sc,
+            ModelSel::Tso,
+            ModelSel::Pso,
+            ModelSel::Weak,
+            ModelSel::WeakSpec,
+        ] {
+            let serial = enumerate(&entry.test.program, &model.policy(), &EnumConfig::default())
+                .expect("serial enumeration succeeds");
+            let parallel =
+                enumerate_parallel(&entry.test.program, &model.policy(), &parallel_config)
+                    .expect("parallel enumeration succeeds");
+            let name = &entry.test.name;
+            assert_eq!(
+                serial.outcomes,
+                parallel.outcomes,
+                "{name} under {}: outcome sets differ",
+                model.name()
+            );
+            assert_eq!(serial.stats.explored, parallel.stats.explored, "{name}");
+            assert_eq!(serial.stats.forks, parallel.stats.forks, "{name}");
+            assert_eq!(serial.stats.deduped, parallel.stats.deduped, "{name}");
+            assert_eq!(
+                serial.stats.rolled_back, parallel.stats.rolled_back,
+                "{name}"
+            );
+            assert_eq!(
+                serial.stats.distinct_executions, parallel.stats.distinct_executions,
+                "{name}"
+            );
+            assert_eq!(
+                serial.stats.max_graph_nodes, parallel.stats.max_graph_nodes,
+                "{name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of proptest 1.x that the workspace's
+//! property tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`,
+//! [`prop_oneof!`], [`Just`](strategy::Just), `any::<T>()`, range and
+//! tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::bool::ANY`, and string strategies from a small regex subset
+//! (`[class]{m,n}`, `\PC{m,n}`, literals).
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test stream (seeded by test name), there is **no shrinking** — a
+//! failing case panics with the case number so it can be replayed — and
+//! `.proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    /// Deterministic per-test random stream (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream derived from the test name and case index, so every
+        /// run of the suite sees the same inputs.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64) << 32 | 0x9E37_79B9),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Run configuration (subset of upstream `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test inputs.
+    ///
+    /// Upstream proptest separates strategies from value trees (for
+    /// shrinking); this shim generates final values directly.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as u128)
+                        .wrapping_sub(*self.start() as u128)
+                        .wrapping_add(1);
+                    // span == 0 only for the full-domain u128 range, which
+                    // no integer type here can express; modulo is safe.
+                    self.start().wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Uniform choice between boxed alternatives (the [`prop_oneof!`]
+    /// expansion).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of the given alternatives; must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! of zero alternatives");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Builds the whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    // --- Regex-subset string strategies ---------------------------------
+
+    /// One element of the supported pattern language, with its repeat
+    /// bounds (a bare element repeats exactly once).
+    #[derive(Debug, Clone)]
+    enum Piece {
+        /// A fixed character.
+        Literal(char),
+        /// A set of candidate characters.
+        Class(Vec<char>),
+    }
+
+    /// Characters generated for `\PC` (any printable): printable ASCII
+    /// plus a few multi-byte code points so parsers see non-ASCII input.
+    fn printable_alphabet() -> Vec<char> {
+        let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        v.extend(['é', 'Ω', '→', '中', '💡']);
+        v
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut raw = Vec::new();
+        for c in chars.by_ref() {
+            if c == ']' {
+                break;
+            }
+            raw.push(c);
+        }
+        // Expand `a-z` ranges; a `-` at either end is a literal dash.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if i + 2 < raw.len() && raw[i + 1] == '-' {
+                for x in raw[i]..=raw[i + 2] {
+                    out.push(x);
+                }
+                i += 3;
+            } else {
+                out.push(raw[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Piece, usize, usize)> {
+        let mut pieces = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => Piece::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC`: complement of the Control category.
+                        let tag = chars.next();
+                        assert_eq!(tag, Some('C'), "only \\PC is supported");
+                        Piece::Class(printable_alphabet())
+                    }
+                    Some(escaped) => Piece::Literal(escaped),
+                    None => panic!("dangling backslash in pattern {pattern:?}"),
+                },
+                c => Piece::Literal(c),
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut bounds = String::new();
+                for b in chars.by_ref() {
+                    if b == '}' {
+                        break;
+                    }
+                    bounds.push(b);
+                }
+                let (lo, hi) = bounds
+                    .split_once(',')
+                    .unwrap_or((bounds.as_str(), bounds.as_str()));
+                (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            pieces.push((piece, lo, hi));
+        }
+        pieces
+    }
+
+    /// `&str` patterns are string strategies over a regex subset.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (piece, lo, hi) in parse_pattern(self) {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    match &piece {
+                        Piece::Literal(c) => out.push(*c),
+                        Piece::Class(set) => {
+                            out.push(set[rng.below(set.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    // --- Collection strategies ------------------------------------------
+
+    /// Strategy for `Vec<T>` with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = (self.size.clone()).generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`; duplicates collapse, so the final size
+    /// may undershoot the drawn target (matching upstream's best-effort
+    /// behaviour for small domains).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = (self.size.clone()).generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Collection strategy constructors (`prop::collection`).
+    pub mod collection {
+        use super::{BTreeSetStrategy, Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A `Vec` of `element` values with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(!size.is_empty(), "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        /// A `BTreeSet` of `element` values targeting a size in `size`.
+        pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            assert!(!size.is_empty(), "empty btree_set size range");
+            BTreeSetStrategy { element, size }
+        }
+    }
+
+    /// Boolean strategies (`prop::bool`).
+    pub mod bool {
+        use super::super::test_runner::TestRng;
+        use super::Strategy;
+
+        /// Either boolean with equal probability.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace used inside tests (`prop::collection::vec`,
+/// `prop::bool::ANY`).
+pub mod prop {
+    pub use super::strategy::bool;
+    pub use super::strategy::collection;
+}
+
+/// Declares property tests.
+///
+/// Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))] // optional
+///     #[test]
+///     fn my_property(x in 0usize..10, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(e) = result {
+                    eprintln!(
+                        "proptest case {case}/{} of `{}` failed",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics on failure; this shim
+/// has no shrinking, so it behaves like `assert!` with case reporting).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($s) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{any, Arbitrary, Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..500 {
+            let (a, b) = (3usize..9, 10u64..20).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::deterministic("strings", 0);
+        for _ in 0..200 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let t = "  [xy=]{0,3}".generate(&mut rng);
+            assert!(t.starts_with("  "), "{t:?}");
+            assert!(t.chars().skip(2).all(|c| "xy=".contains(c)), "{t:?}");
+
+            let p = "\\PC{0,5}".generate(&mut rng);
+            assert!(p.chars().count() <= 5, "{p:?}");
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn collections_and_oneof_compose() {
+        let mut rng = TestRng::deterministic("collections", 1);
+        let v = prop::collection::vec((0usize..10, prop::bool::ANY), 0..20).generate(&mut rng);
+        assert!(v.len() < 20);
+        let s = prop::collection::btree_set(0usize..5, 1..10).generate(&mut rng);
+        assert!(s.iter().all(|&x| x < 5));
+        let u = prop_oneof![Just("a".to_owned()), "[bc]{1,1}"];
+        for _ in 0..100 {
+            let x: String = u.generate(&mut rng);
+            assert!(["a", "b", "c"].contains(&x.as_str()), "{x:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires config, strategies and assertions together.
+        #[test]
+        fn macro_round_trip(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flag as u64 <= 1, true);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_repeat() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("t", 3);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("t", 3);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
