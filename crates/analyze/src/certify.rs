@@ -1,0 +1,387 @@
+//! DRF-SC certification: machine-checkable proofs that a program's
+//! behaviour set under a weak store-atomic policy equals its SC
+//! behaviour set, so weak-model enumeration can be skipped.
+//!
+//! Two certificate shapes are recognised:
+//!
+//! * **Data-race freedom** ([`CertReason::DataRaceFree`]) — the static
+//!   race detector found no conflicting unordered pair, so every load
+//!   has a unique eligible source in every execution and outcomes are
+//!   identical under *every* store-atomic policy whose table keeps
+//!   single-threaded execution deterministic (the paper's
+//!   well-synchronized discipline, section 8, in its strongest static
+//!   form). Evidence: the per-location footprint.
+//!
+//! * **Total local order** ([`CertReason::TotalLocalOrder`]) — every
+//!   thread is straight-line with statically known addresses, and the
+//!   policy's *guaranteed* intra-thread order already covers full
+//!   program order over memory events (e.g. fully fenced tests such as
+//!   `SB+fences`, or data-dependency chains such as `LB+data`). The
+//!   policy then emits exactly SC's edge structure for this program, so
+//!   enumeration is step-for-step identical. Evidence: per thread, a
+//!   chain of guaranteed base edges covering each consecutive memory
+//!   pair. Programs with a same-address Bypass pair are declined so the
+//!   gray-edge fork cannot perturb execution counts.
+//!
+//! Certificates carry their evidence and re-verify via
+//! [`Certificate::check`]; the litmus harness only trusts a certificate
+//! that checks.
+
+use std::fmt;
+
+use samm_core::instr::Program;
+use samm_core::policy::{Constraint, OpClass, Policy};
+use samm_core::static_order::{guaranteed_edge, thread_events, StaticOrder};
+
+use crate::race::find_races;
+
+/// Why the program is certified SC-equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertReason {
+    /// No conflicting unordered access pair exists (static DRF).
+    DataRaceFree,
+    /// The guaranteed intra-thread order is total over every thread's
+    /// memory events, so the policy's edge set equals SC's.
+    TotalLocalOrder,
+}
+
+impl fmt::Display for CertReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CertReason::DataRaceFree => "data-race-free",
+            CertReason::TotalLocalOrder => "total-local-order",
+        })
+    }
+}
+
+/// A machine-checkable SC-equivalence certificate for one
+/// (program, policy) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Name of the certified policy.
+    pub policy: String,
+    /// The certificate shape.
+    pub reason: CertReason,
+    /// For [`CertReason::TotalLocalOrder`]: per thread, per consecutive
+    /// memory-event pair, the chain of guaranteed base edges (event
+    /// indices) covering it. Empty for [`CertReason::DataRaceFree`].
+    pub chains: Vec<Vec<Vec<usize>>>,
+}
+
+impl Certificate {
+    /// Re-verifies the certificate against the program and policy it
+    /// claims to certify. Returns `false` on any mismatch — wrong
+    /// policy name, stale evidence, or a condition that no longer
+    /// holds.
+    pub fn check(&self, program: &Program, policy: &Policy) -> bool {
+        if policy.name() != self.policy {
+            return false;
+        }
+        match self.reason {
+            CertReason::DataRaceFree => {
+                single_thread_deterministic(policy) && find_races(program, policy).is_race_free()
+            }
+            CertReason::TotalLocalOrder => check_total_local_order(program, policy, &self.chains),
+        }
+    }
+}
+
+/// Whether the table keeps single-threaded execution deterministic: the
+/// paper's three `x ≠ y` cells — (Load, Store), (Store, Load),
+/// (Store, Store) — must each order (or bypass-resolve) same-address
+/// pairs.
+fn single_thread_deterministic(policy: &Policy) -> bool {
+    [
+        (OpClass::Load, OpClass::Store),
+        (OpClass::Store, OpClass::Load),
+        (OpClass::Store, OpClass::Store),
+    ]
+    .into_iter()
+    .all(|(a, b)| policy.constraint(a, b).observational_strength() >= 1)
+}
+
+fn check_total_local_order(program: &Program, policy: &Policy, chains: &[Vec<Vec<usize>>]) -> bool {
+    if chains.len() != program.threads().len() {
+        return false;
+    }
+    for (thread, thread_chains) in program.threads().iter().zip(chains) {
+        let te = thread_events(thread);
+        if !te.straight_line {
+            return false;
+        }
+        if te.events.iter().any(|e| e.addr_unknown()) {
+            return false;
+        }
+        // No same-address Bypass pair (gray-edge forks would diverge
+        // from SC's execution structure).
+        for (i, a) in te.events.iter().enumerate() {
+            for b in te.events.iter().skip(i + 1) {
+                if policy.combined_constraint(a.kind.classes(), b.kind.classes())
+                    == Constraint::Bypass
+                    && matches!((a.addr, b.addr), (Some(x), Some(y)) if x == y)
+                {
+                    return false;
+                }
+            }
+        }
+        let mems: Vec<usize> = (0..te.events.len())
+            .filter(|&i| te.events[i].kind.is_memory())
+            .collect();
+        if thread_chains.len() + 1 != mems.len().max(1) {
+            return false;
+        }
+        for (pair, chain) in mems.windows(2).zip(thread_chains) {
+            // The chain must start and end at the consecutive memory
+            // events and every step must be a guaranteed base edge.
+            if chain.first() != Some(&pair[0]) || chain.last() != Some(&pair[1]) {
+                return false;
+            }
+            let valid_steps = chain.windows(2).all(|step| {
+                step[0] < step[1]
+                    && step[1] < te.events.len()
+                    && guaranteed_edge(&te.events[step[0]], &te.events[step[1]], policy)
+            });
+            if !valid_steps {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Attempts to certify that `program`'s behaviour set under `policy`
+/// equals its SC behaviour set. Returns `None` when no certificate
+/// applies — which means nothing except that enumeration must run.
+pub fn certify(program: &Program, policy: &Policy) -> Option<Certificate> {
+    // Shape 1: static data-race freedom.
+    if single_thread_deterministic(policy) && find_races(program, policy).is_race_free() {
+        return Some(Certificate {
+            policy: policy.name().to_owned(),
+            reason: CertReason::DataRaceFree,
+            chains: Vec::new(),
+        });
+    }
+    // Shape 2: guaranteed order total over memory events, per thread.
+    let mut chains: Vec<Vec<Vec<usize>>> = Vec::with_capacity(program.threads().len());
+    for thread in program.threads() {
+        let te = thread_events(thread);
+        if !te.straight_line || te.events.iter().any(|e| e.addr_unknown()) {
+            return None;
+        }
+        for (i, a) in te.events.iter().enumerate() {
+            for b in te.events.iter().skip(i + 1) {
+                if policy.combined_constraint(a.kind.classes(), b.kind.classes())
+                    == Constraint::Bypass
+                    && matches!((a.addr, b.addr), (Some(x), Some(y)) if x == y)
+                {
+                    return None;
+                }
+            }
+        }
+        let order = StaticOrder::compute(&te.events, policy);
+        if !order.total_over_memory(&te.events) {
+            return None;
+        }
+        let mems: Vec<usize> = (0..te.events.len())
+            .filter(|&i| te.events[i].kind.is_memory())
+            .collect();
+        let thread_chains: Option<Vec<Vec<usize>>> = mems
+            .windows(2)
+            .map(|pair| order.chain(&te.events, policy, pair[0], pair[1]))
+            .collect();
+        chains.push(thread_chains?);
+    }
+    Some(Certificate {
+        policy: policy.name().to_owned(),
+        reason: CertReason::TotalLocalOrder,
+        chains,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::ids::{Reg, Value};
+    use samm_core::instr::{Instr, Operand, ThreadProgram};
+
+    fn imm(v: u64) -> Operand {
+        Operand::Imm(Value::new(v))
+    }
+
+    fn fenced_sb() -> Program {
+        let thread = |mine: u64, theirs: u64| {
+            ThreadProgram::new(vec![
+                Instr::Store {
+                    addr: imm(mine),
+                    val: imm(1),
+                },
+                Instr::Fence,
+                Instr::Load {
+                    dst: Reg::new(0),
+                    addr: imm(theirs),
+                },
+            ])
+        };
+        Program::new(vec![thread(0, 1), thread(1, 0)])
+    }
+
+    fn unfenced_sb() -> Program {
+        let thread = |mine: u64, theirs: u64| {
+            ThreadProgram::new(vec![
+                Instr::Store {
+                    addr: imm(mine),
+                    val: imm(1),
+                },
+                Instr::Load {
+                    dst: Reg::new(0),
+                    addr: imm(theirs),
+                },
+            ])
+        };
+        Program::new(vec![thread(0, 1), thread(1, 0)])
+    }
+
+    #[test]
+    fn fenced_sb_gets_total_order_certificate_under_weak() {
+        let cert = certify(&fenced_sb(), &Policy::weak()).expect("certifiable");
+        assert_eq!(cert.reason, CertReason::TotalLocalOrder);
+        assert!(cert.check(&fenced_sb(), &Policy::weak()));
+    }
+
+    #[test]
+    fn unfenced_sb_is_not_certified_under_weak_or_tso() {
+        assert!(certify(&unfenced_sb(), &Policy::weak()).is_none());
+        assert!(certify(&unfenced_sb(), &Policy::tso()).is_none());
+    }
+
+    #[test]
+    fn race_free_program_gets_drf_certificate() {
+        let t0 = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+        ]);
+        let t1 = ThreadProgram::new(vec![Instr::Load {
+            dst: Reg::new(0),
+            addr: imm(9),
+        }]);
+        let p = Program::new(vec![t0, t1]);
+        let cert = certify(&p, &Policy::weak()).expect("certifiable");
+        assert_eq!(cert.reason, CertReason::DataRaceFree);
+        assert!(cert.check(&p, &Policy::weak()));
+    }
+
+    #[test]
+    fn certificate_fails_check_against_other_program_or_policy() {
+        let cert = certify(&fenced_sb(), &Policy::weak()).expect("certifiable");
+        assert!(!cert.check(&fenced_sb(), &Policy::tso()), "wrong policy");
+        assert!(
+            !cert.check(&unfenced_sb(), &Policy::weak()),
+            "stale evidence: the fences are gone"
+        );
+    }
+
+    #[test]
+    fn tampered_chain_fails_check() {
+        let mut cert = certify(&fenced_sb(), &Policy::weak()).expect("certifiable");
+        assert_eq!(cert.reason, CertReason::TotalLocalOrder);
+        // Claim a direct edge from the store to the load, skipping the
+        // fence: not a guaranteed base edge under weak.
+        cert.chains[0][0] = vec![0, 2];
+        assert!(!cert.check(&fenced_sb(), &Policy::weak()));
+    }
+
+    #[test]
+    fn data_dependent_lb_is_certified_under_weak() {
+        let thread = |from: u64, to: u64| {
+            ThreadProgram::new(vec![
+                Instr::Load {
+                    dst: Reg::new(0),
+                    addr: imm(from),
+                },
+                Instr::Store {
+                    addr: imm(to),
+                    val: Operand::Reg(Reg::new(0)),
+                },
+            ])
+        };
+        let p = Program::new(vec![thread(0, 1), thread(1, 0)]);
+        let cert = certify(&p, &Policy::weak()).expect("certifiable");
+        assert_eq!(cert.reason, CertReason::TotalLocalOrder);
+        assert!(cert.check(&p, &Policy::weak()));
+    }
+
+    #[test]
+    fn pointer_programs_are_declined() {
+        let t = ThreadProgram::new(vec![
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+            Instr::Fence,
+            Instr::Load {
+                dst: Reg::new(1),
+                addr: Operand::Reg(Reg::new(0)),
+            },
+        ]);
+        let writer = ThreadProgram::new(vec![Instr::Store {
+            addr: imm(0),
+            val: imm(5),
+        }]);
+        assert!(certify(&Program::new(vec![t, writer]), &Policy::weak()).is_none());
+    }
+
+    #[test]
+    fn branchy_racy_program_is_declined() {
+        let t = ThreadProgram::new(vec![
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+            Instr::BranchNz {
+                cond: Operand::Reg(Reg::new(0)),
+                target: 3,
+            },
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+        ]);
+        let u = ThreadProgram::new(vec![Instr::Store {
+            addr: imm(0),
+            val: imm(2),
+        }]);
+        assert!(certify(&Program::new(vec![t, u]), &Policy::weak()).is_none());
+    }
+
+    #[test]
+    fn same_addr_bypass_pair_declines_total_order_even_with_fence() {
+        // store x; fence; load x under TSO: ordered through the fence,
+        // but the bypass gray fork could still diverge from SC's
+        // execution structure — declined.
+        let t = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Fence,
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+        ]);
+        let u = ThreadProgram::new(vec![Instr::Store {
+            addr: imm(0),
+            val: imm(2),
+        }]);
+        let p = Program::new(vec![t, u]);
+        assert!(certify(&p, &Policy::tso()).is_none());
+        // Under weak (no bypass) the same program certifies.
+        assert!(certify(&p, &Policy::weak()).is_some());
+    }
+}

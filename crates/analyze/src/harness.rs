@@ -1,0 +1,129 @@
+//! The DRF-SC short-circuit wired into the litmus harness.
+//!
+//! [`run_entry`] behaves like [`samm_litmus::expect::run_entry`] but
+//! consults the static certifier first: any model the analyzer proves
+//! SC-equivalent for the entry's program reuses a single SC enumeration
+//! instead of enumerating again. On a fully fenced test run under the
+//! whole model chain this replaces N weak-model enumerations with one SC
+//! run plus N cheap static checks (see the `analyze` Criterion bench).
+
+use samm_core::enumerate::EnumConfig;
+use samm_core::error::EnumError;
+use samm_core::instr::Program;
+use samm_core::policy::Policy;
+use samm_litmus::catalog::{CatalogEntry, ModelSel};
+use samm_litmus::expect::{run_entry_certified, run_entry_certified_parallel, EntryReport};
+
+use crate::certify::certify;
+
+/// The certifier closure the harness plugs into
+/// [`samm_litmus::expect::run_entry_certified`]: certificates are
+/// re-checked before being trusted, so a bug in certificate
+/// *construction* cannot silently skip enumeration.
+pub fn checked_certifier(program: &Program, policy: &Policy) -> bool {
+    certify(program, policy).is_some_and(|cert| cert.check(program, policy))
+}
+
+/// Runs one catalog entry with the DRF-SC short-circuit (serial
+/// engine).
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry(entry: &CatalogEntry, config: &EnumConfig) -> Result<EntryReport, EnumError> {
+    run_entry_certified(entry, config, &checked_certifier)
+}
+
+/// Runs one catalog entry with the DRF-SC short-circuit on the
+/// work-stealing pool.
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry_parallel(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+) -> Result<EntryReport, EnumError> {
+    run_entry_certified_parallel(entry, config, &checked_certifier)
+}
+
+/// The models of an entry the certifier would short-circuit — handy for
+/// reporting and for the bench harness.
+pub fn certified_models(entry: &CatalogEntry) -> Vec<ModelSel> {
+    entry
+        .models()
+        .into_iter()
+        .filter(|m| *m != ModelSel::Sc && checked_certifier(&entry.test.program, &m.policy()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_litmus::catalog;
+
+    fn fast() -> EnumConfig {
+        EnumConfig {
+            keep_executions: false,
+            ..EnumConfig::default()
+        }
+    }
+
+    #[test]
+    fn fenced_sb_short_circuits_every_weak_model() {
+        let entry = catalog::sb_fenced();
+        let report = run_entry(&entry, &fast()).unwrap();
+        assert!(report.all_pass(), "{report}");
+        for row in &report.rows {
+            assert_eq!(
+                row.certified,
+                row.model != ModelSel::Sc,
+                "{}: certification flag",
+                row.model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn racy_sb_never_short_circuits() {
+        let entry = catalog::sb();
+        let report = run_entry(&entry, &fast()).unwrap();
+        assert!(report.all_pass(), "{report}");
+        assert!(report.rows.iter().all(|r| !r.certified));
+        assert!(certified_models(&entry).is_empty());
+    }
+
+    #[test]
+    fn certified_reports_match_plain_harness_verdicts() {
+        for entry in catalog::all() {
+            let plain = samm_litmus::expect::run_entry(&entry, &fast()).unwrap();
+            let certified = run_entry(&entry, &fast()).unwrap();
+            assert!(certified.all_pass(), "{certified}");
+            assert_eq!(plain.rows.len(), certified.rows.len());
+            for (p, c) in plain.rows.iter().zip(&certified.rows) {
+                assert_eq!(
+                    p.observed_allowed, c.observed_allowed,
+                    "{}",
+                    entry.test.name
+                );
+                assert_eq!(p.outcomes, c.outcomes, "{}", entry.test.name);
+                assert_eq!(p.executions, c.executions, "{}", entry.test.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_short_circuit_agrees() {
+        let entry = catalog::mp_fenced();
+        let config = EnumConfig {
+            parallelism: 4,
+            ..fast()
+        };
+        let serial = run_entry(&entry, &config).unwrap();
+        let parallel = run_entry_parallel(&entry, &config).unwrap();
+        for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(s.certified, p.certified);
+            assert_eq!(s.outcomes, p.outcomes);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # samm-analyze — static race/DRF certifier and policy-axiom linter
+//!
+//! Static analyses over litmus programs and reordering policies that
+//! *never enumerate*: everything here is decided from the program text
+//! and the policy table alone, then cross-validated against the
+//! exhaustive enumerators by the differential test layer.
+//!
+//! Three passes:
+//!
+//! * [`race`] — a static data-race detector. It rebuilds each thread's
+//!   guaranteed local order `≺` from the policy table (see
+//!   [`samm_core::static_order`]) and reports every pair of conflicting
+//!   accesses no guaranteed order relates, with a witness explaining
+//!   which table entries fail to order the pair.
+//! * [`certify`] — a DRF-SC certifier. When a program is provably
+//!   data-race-free (or its guaranteed order is already total over each
+//!   thread's memory events), [`certify::certify`] emits a
+//!   machine-checkable [`certify::Certificate`] that its behaviour set
+//!   under the given store-atomic policy equals its SC behaviour set.
+//!   The litmus harness uses the certificate to short-circuit weak-model
+//!   enumeration to a single SC run ([`harness`]).
+//! * [`lint`] — a policy-axiom linter for reordering tables
+//!   (single-thread determinism of the three `x ≠ y` cells, fence
+//!   symmetry, Bypass placement, strength containment of the
+//!   `SC ⊒ TSO ⊒ PSO ⊒ Weak` chain) plus a `dead-fence` program lint.
+//!   The `samm-lint` binary runs the suite over `litmus-tests/` and the
+//!   built-in catalog in CI.
+//!
+//! Soundness is one-directional by design: a missing certificate or a
+//! reported race may be a false alarm (the analyses over-approximate
+//! inter-thread interaction), but an *emitted* certificate is always
+//! checked against its own evidence before the harness trusts it, and
+//! the differential tests assert certified programs really do have
+//! identical outcome sets under every shipped model, in both the serial
+//! and the work-stealing enumerator.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod certify;
+pub mod harness;
+pub mod lint;
+pub mod race;
+
+pub use certify::{certify, CertReason, Certificate};
+pub use lint::{lint_builtin_models, lint_chain, lint_litmus, lint_policy, Diagnostic, Severity};
+pub use race::{find_races, Access, AccessMode, Race, RaceKind, RaceReport};

@@ -1,0 +1,519 @@
+//! Static data-race detection over the reordering table.
+//!
+//! A *race* is a pair of memory accesses that may target the same
+//! address, at least one of which writes, and that no relation
+//! guaranteed in **every** execution orders. Per the framework, the only
+//! statically guaranteed order is the intra-thread `≺` derived from the
+//! policy's table ([`samm_core::static_order`]): fence `never` entries,
+//! same-known-address `x ≠ y` entries and data dependencies. Inter-thread
+//! edges all come from Store Atomicity and vary per execution, so any
+//! cross-thread conflicting pair is unordered — including pairs of
+//! atomic RMWs, whose serialization order genuinely differs across
+//! executions (and across models: see `SB+swap` in the catalog).
+//!
+//! The detector is a sound over-approximation: a program it calls
+//! race-free has no conflicting unordered pair under the given policy
+//! (the basis of the DRF-SC certificate), while a reported race may
+//! still be benign in terms of observable outcomes (e.g. two competing
+//! `faa` increments to one counter race, yet commute).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use samm_core::ids::Addr;
+use samm_core::instr::Program;
+use samm_core::policy::Policy;
+use samm_core::static_order::{thread_events, StaticEvent, StaticOrder, ThreadEvents};
+
+/// The access mode of one side of a (potential) race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessMode {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// An atomic read-modify-write (reads *and* writes).
+    Atomic,
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessMode::Read => "load",
+            AccessMode::Write => "store",
+            AccessMode::Atomic => "rmw",
+        })
+    }
+}
+
+/// One memory access, identified statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Access {
+    /// Thread index.
+    pub thread: usize,
+    /// Instruction index in the thread listing.
+    pub instr_index: usize,
+    /// Issue index among node-emitting instructions (matches
+    /// `Node::index_in_thread` for straight-line threads).
+    pub issue_index: u32,
+    /// Read, write or atomic.
+    pub mode: AccessMode,
+    /// Statically known address; `None` for register-held (pointer)
+    /// addresses, which conservatively may alias anything.
+    pub addr: Option<Addr>,
+}
+
+impl Access {
+    /// Whether the access writes memory.
+    pub fn writes(&self) -> bool {
+        matches!(self.mode, AccessMode::Write | AccessMode::Atomic)
+    }
+
+    /// Whether two accesses may target the same address (unknown
+    /// addresses alias everything).
+    pub fn may_alias(&self, other: &Access) -> bool {
+        match (self.addr, other.addr) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T{} instr {} ({}",
+            self.thread, self.instr_index, self.mode
+        )?;
+        match self.addr {
+            Some(a) => write!(f, " of {a})"),
+            None => write!(f, " of *unknown*)"),
+        }
+    }
+}
+
+/// The classification of a reported race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// A plain read racing a write.
+    ReadWrite,
+    /// Two plain writes.
+    WriteWrite,
+    /// At least one side is an atomic RMW. Still a race in the DRF-SC
+    /// sense — the RMWs' serialization order is execution-dependent —
+    /// but often an *intentional* synchronization race.
+    Atomic,
+}
+
+/// A conflicting unordered access pair, with the evidence that nothing
+/// statically orders it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The program-earlier side (lower thread, or lower instruction
+    /// index within one thread).
+    pub first: Access,
+    /// The other side.
+    pub second: Access,
+    /// The contended address when both sides know it statically.
+    pub addr: Option<Addr>,
+    /// Classification.
+    pub kind: RaceKind,
+    /// `true` for the pathological same-thread case: the policy's table
+    /// fails to order two conflicting accesses of a single thread (only
+    /// possible for tables that break the paper's three `x ≠ y`
+    /// determinism entries).
+    pub same_thread: bool,
+}
+
+impl Race {
+    /// A human-readable witness: the two accesses and why no
+    /// happens-before path exists between them.
+    pub fn witness(&self) -> String {
+        let place = match self.addr {
+            Some(a) => format!("address {a}"),
+            None => "a possibly-aliasing pointer address".to_owned(),
+        };
+        if self.same_thread {
+            format!(
+                "{} and {} conflict on {} within one thread, and the policy's \
+                 reordering table guarantees no `\u{227A}` edge between them",
+                self.first, self.second, place
+            )
+        } else {
+            format!(
+                "{} and {} conflict on {}; they sit in different threads, and \
+                 only Store Atomicity — which varies per execution — can order \
+                 them: no fence or data chain provides a guaranteed \
+                 happens-before path",
+                self.first, self.second, place
+            )
+        }
+    }
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.witness())
+    }
+}
+
+/// Who touches one address, summarized over the whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocationSummary {
+    /// Threads that read the address (loads and RMWs).
+    pub readers: BTreeSet<usize>,
+    /// Threads that write the address (stores and RMWs).
+    pub writers: BTreeSet<usize>,
+}
+
+impl LocationSummary {
+    /// Whether the location is free of cross-thread conflicts: at most
+    /// one thread writes it, and no other thread accesses it at all
+    /// while someone writes.
+    pub fn conflict_free(&self) -> bool {
+        match self.writers.len() {
+            0 => true,
+            1 => {
+                let w = *self.writers.iter().next().expect("one writer");
+                self.readers.iter().all(|&r| r == w)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The full result of [`find_races`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Every conflicting unordered pair, in deterministic order.
+    pub races: Vec<Race>,
+    /// Per statically-known address: which threads read/write it.
+    pub footprint: BTreeMap<Addr, LocationSummary>,
+    /// Accesses whose address is statically unknown (they may alias
+    /// anything and conservatively race with every other-thread access).
+    pub unknown_addr: Vec<Access>,
+}
+
+impl RaceReport {
+    /// Whether the program is statically data-race-free under the
+    /// analyzed policy.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+fn accesses_of(events: &[StaticEvent], thread: usize) -> Vec<Access> {
+    events
+        .iter()
+        .filter(|e| e.kind.is_memory())
+        .map(|e| Access {
+            thread,
+            instr_index: e.instr_index,
+            issue_index: e.issue_index,
+            mode: if e.kind.reads_memory() && e.kind.writes_memory() {
+                AccessMode::Atomic
+            } else if e.kind.writes_memory() {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            },
+            addr: e.addr,
+        })
+        .collect()
+}
+
+fn classify(a: &Access, b: &Access) -> RaceKind {
+    if a.mode == AccessMode::Atomic || b.mode == AccessMode::Atomic {
+        RaceKind::Atomic
+    } else if a.writes() && b.writes() {
+        RaceKind::WriteWrite
+    } else {
+        RaceKind::ReadWrite
+    }
+}
+
+/// Finds every conflicting unordered access pair of `program` under
+/// `policy`.
+///
+/// Cross-thread conflicting pairs are always races (no inter-thread
+/// order is statically guaranteed). Same-thread pairs are checked
+/// against the guaranteed `≺` of [`samm_core::static_order`]: for
+/// straight-line threads the full transitive relation, for branchy
+/// threads the direct pairwise guarantee only (conservative in the
+/// sound direction — more pairs count as unordered).
+pub fn find_races(program: &Program, policy: &Policy) -> RaceReport {
+    let mut races = Vec::new();
+    let mut footprint: BTreeMap<Addr, LocationSummary> = BTreeMap::new();
+    let mut unknown_addr = Vec::new();
+    let per_thread: Vec<(ThreadEvents, Vec<Access>)> = program
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(t, thread)| {
+            let te = thread_events(thread);
+            let accesses = accesses_of(&te.events, t);
+            (te, accesses)
+        })
+        .collect();
+
+    for (te, accesses) in &per_thread {
+        for a in accesses {
+            match a.addr {
+                Some(addr) => {
+                    let entry = footprint.entry(addr).or_default();
+                    if a.writes() {
+                        entry.writers.insert(a.thread);
+                    }
+                    if matches!(a.mode, AccessMode::Read | AccessMode::Atomic) {
+                        entry.readers.insert(a.thread);
+                    }
+                }
+                None => unknown_addr.push(*a),
+            }
+        }
+        // Same-thread pairs: race only when the table leaves a
+        // conflicting pair unordered.
+        let order = te
+            .straight_line
+            .then(|| StaticOrder::compute(&te.events, policy));
+        for (i, a) in accesses.iter().enumerate() {
+            for b in accesses.iter().skip(i + 1) {
+                if !(a.may_alias(b) && (a.writes() || b.writes())) {
+                    continue;
+                }
+                let ordered = match &order {
+                    Some(order) => {
+                        // Access issue order == event list order.
+                        order.ordered(a.issue_index as usize, b.issue_index as usize)
+                    }
+                    None => {
+                        let ea = &te.events[a.issue_index as usize];
+                        let eb = &te.events[b.issue_index as usize];
+                        samm_core::static_order::guaranteed_edge(ea, eb, policy)
+                    }
+                };
+                // A same-address Bypass pair (TSO store->load) is not a
+                // guaranteed edge, but it IS value-deterministic: the
+                // bypassed load reads exactly the buffered store. Not a
+                // race.
+                let bypass_deterministic = {
+                    let ea = &te.events[a.issue_index as usize];
+                    let eb = &te.events[b.issue_index as usize];
+                    ea.kind == samm_core::static_order::EventKind::Store
+                        && eb.kind == samm_core::static_order::EventKind::Load
+                        && policy.combined_constraint(ea.kind.classes(), eb.kind.classes())
+                            == samm_core::policy::Constraint::Bypass
+                        && matches!((ea.addr, eb.addr), (Some(x), Some(y)) if x == y)
+                };
+                if !ordered && !bypass_deterministic {
+                    races.push(Race {
+                        first: *a,
+                        second: *b,
+                        addr: a.addr.and(b.addr).and(a.addr),
+                        kind: classify(a, b),
+                        same_thread: true,
+                    });
+                }
+            }
+        }
+    }
+
+    // Cross-thread conflicting pairs are always unordered.
+    for (t1, (_, accesses1)) in per_thread.iter().enumerate() {
+        for (_, accesses2) in per_thread.iter().skip(t1 + 1) {
+            for a in accesses1 {
+                for b in accesses2 {
+                    if a.may_alias(b) && (a.writes() || b.writes()) {
+                        races.push(Race {
+                            first: *a,
+                            second: *b,
+                            addr: a.addr.and(b.addr).and(a.addr),
+                            kind: classify(a, b),
+                            same_thread: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    races.sort_by_key(|r| (r.first, r.second));
+    RaceReport {
+        races,
+        footprint,
+        unknown_addr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::ids::{Reg, Value};
+    use samm_core::instr::{Instr, Operand, ThreadProgram};
+
+    fn imm(v: u64) -> Operand {
+        Operand::Imm(Value::new(v))
+    }
+
+    fn sb() -> Program {
+        let thread = |mine: u64, theirs: u64| {
+            ThreadProgram::new(vec![
+                Instr::Store {
+                    addr: imm(mine),
+                    val: imm(1),
+                },
+                Instr::Load {
+                    dst: Reg::new(0),
+                    addr: imm(theirs),
+                },
+            ])
+        };
+        Program::new(vec![thread(0, 1), thread(1, 0)])
+    }
+
+    #[test]
+    fn sb_has_two_read_write_races() {
+        let report = find_races(&sb(), &Policy::weak());
+        assert_eq!(report.races.len(), 2);
+        assert!(report
+            .races
+            .iter()
+            .all(|r| r.kind == RaceKind::ReadWrite && !r.same_thread));
+    }
+
+    #[test]
+    fn thread_private_program_is_race_free() {
+        let t = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+        ]);
+        let u = ThreadProgram::new(vec![Instr::Store {
+            addr: imm(1),
+            val: imm(2),
+        }]);
+        let report = find_races(&Program::new(vec![t, u]), &Policy::weak());
+        assert!(report.is_race_free(), "{:?}", report.races);
+        assert!(report.footprint[&Addr::new(0)].conflict_free());
+    }
+
+    #[test]
+    fn read_only_sharing_is_race_free() {
+        let reader = || {
+            ThreadProgram::new(vec![Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(7),
+            }])
+        };
+        let report = find_races(&Program::new(vec![reader(), reader()]), &Policy::weak());
+        assert!(report.is_race_free());
+    }
+
+    #[test]
+    fn competing_rmws_race_as_atomic() {
+        let t = || {
+            ThreadProgram::new(vec![Instr::Rmw {
+                dst: Reg::new(0),
+                addr: imm(0),
+                op: samm_core::instr::RmwOp::FetchAdd,
+                src: imm(1),
+            }])
+        };
+        let report = find_races(&Program::new(vec![t(), t()]), &Policy::weak());
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].kind, RaceKind::Atomic);
+    }
+
+    #[test]
+    fn unknown_addresses_race_with_everything() {
+        let writer = ThreadProgram::new(vec![Instr::Store {
+            addr: imm(0),
+            val: imm(1),
+        }]);
+        let pointer_reader = ThreadProgram::new(vec![
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(1),
+            },
+            Instr::Load {
+                dst: Reg::new(1),
+                addr: Operand::Reg(Reg::new(0)),
+            },
+        ]);
+        let report = find_races(&Program::new(vec![writer, pointer_reader]), &Policy::weak());
+        assert_eq!(report.unknown_addr.len(), 1);
+        // store(0) vs pointer load, store(0) vs load(1)? load(1) reads addr 1
+        // (no conflict); the pointer load conflicts with the store.
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].addr, None);
+    }
+
+    #[test]
+    fn broken_table_yields_same_thread_race() {
+        use samm_core::policy::{Constraint, OpClass};
+        // Free out the store->store determinism entry.
+        let broken = Policy::custom(
+            "broken",
+            Policy::weak()
+                .table()
+                .with_entry(OpClass::Store, OpClass::Store, Constraint::Free),
+        );
+        let t = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Store {
+                addr: imm(0),
+                val: imm(2),
+            },
+        ]);
+        let report = find_races(&Program::new(vec![t]), &broken);
+        assert_eq!(report.races.len(), 1);
+        assert!(report.races[0].same_thread);
+        assert_eq!(report.races[0].kind, RaceKind::WriteWrite);
+        // The shipped weak table orders the pair.
+        let t2 = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Store {
+                addr: imm(0),
+                val: imm(2),
+            },
+        ]);
+        assert!(find_races(&Program::new(vec![t2]), &Policy::weak()).is_race_free());
+    }
+
+    #[test]
+    fn tso_bypass_pair_is_not_a_same_thread_race() {
+        let t = ThreadProgram::new(vec![
+            Instr::Store {
+                addr: imm(0),
+                val: imm(1),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: imm(0),
+            },
+        ]);
+        let report = find_races(&Program::new(vec![t]), &Policy::tso());
+        assert!(report.is_race_free(), "{:?}", report.races);
+    }
+
+    #[test]
+    fn witness_text_names_both_sides() {
+        let report = find_races(&sb(), &Policy::weak());
+        let w = report.races[0].witness();
+        assert!(w.contains("T0"), "{w}");
+        assert!(w.contains("T1"), "{w}");
+        assert!(w.contains("happens-before"), "{w}");
+    }
+}

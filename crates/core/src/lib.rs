@@ -56,6 +56,7 @@
 //! | [`serialize`] | §3.1 | serializability: witnesses and validation |
 //! | [`outcome`] | — | final register files, outcome sets |
 //! | [`speculation`] | §5 | aliasing-speculation analysis helpers |
+//! | [`static_order`] | §2, Fig 1 | the statically guaranteed part of `≺` |
 //! | [`sync`] | §8 | well-synchronized-program discipline checker |
 //! | [`dot`] | Fig 2 | Graphviz rendering of execution graphs |
 
@@ -79,6 +80,7 @@ pub mod parallel;
 pub mod policy;
 pub mod serialize;
 pub mod speculation;
+pub mod static_order;
 pub mod sync;
 
 #[cfg(test)]

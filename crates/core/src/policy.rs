@@ -108,6 +108,42 @@ impl Constraint {
     pub fn is_address_sensitive(self) -> bool {
         matches!(self, Constraint::SameAddr | Constraint::Bypass)
     }
+
+    /// Syntactic strictness used by [`Policy::combined_constraint`]:
+    /// `Never (3) > SameAddr (2) > Bypass (1) > DataOnly/Free (0)`.
+    ///
+    /// This is the order in which constraints *merge* when an operation
+    /// carries several facets; it is not an observational comparison (see
+    /// [`Constraint::observational_strength`]).
+    #[inline]
+    pub fn strength(self) -> u8 {
+        match self {
+            Constraint::Free | Constraint::DataOnly => 0,
+            Constraint::Bypass => 1,
+            Constraint::SameAddr => 2,
+            Constraint::Never => 3,
+        }
+    }
+
+    /// Observational strictness for strength-containment comparisons:
+    /// `Never (2) > SameAddr = Bypass (1) > DataOnly = Free (0)`.
+    ///
+    /// `SameAddr` and `Bypass` share a level: both forbid reordering of
+    /// different-address pairs never and same-address pairs always in
+    /// terms of *observed values* — a bypassed load reads the very value
+    /// the ordered load would. (They are not equivalent in general — the
+    /// paper's Figure 11 separates real TSO from the naive `x ≠ y`
+    /// variant via the store *pipeline* — so this comparison is a
+    /// necessary condition checked by the linter, while the dynamic
+    /// bracketing tests remain the semantic ground truth.)
+    #[inline]
+    pub fn observational_strength(self) -> u8 {
+        match self {
+            Constraint::Free | Constraint::DataOnly => 0,
+            Constraint::Bypass | Constraint::SameAddr => 1,
+            Constraint::Never => 2,
+        }
+    }
 }
 
 impl fmt::Display for Constraint {
@@ -149,6 +185,35 @@ impl ConstraintTable {
     pub fn with_entry(mut self, first: OpClass, second: OpClass, c: Constraint) -> Self {
         self.entries[first.index()][second.index()] = c;
         self
+    }
+
+    /// Iterates over every `(first, second, constraint)` cell in
+    /// [`OpClass::ALL`] order — row-major, 25 entries.
+    pub fn cells(&self) -> impl Iterator<Item = (OpClass, OpClass, Constraint)> + '_ {
+        OpClass::ALL.into_iter().flat_map(move |first| {
+            OpClass::ALL
+                .into_iter()
+                .map(move |second| (first, second, self.entry(first, second)))
+        })
+    }
+
+    /// Entry-wise observational containment over the memory-relevant
+    /// cells (both classes among Load/Store/Fence): `true` when this
+    /// table forbids at least as much reordering as `weaker` on every
+    /// such cell, per [`Constraint::observational_strength`].
+    ///
+    /// Branch and compute cells are excluded — they govern speculation
+    /// depth, not memory ordering, and differ benignly across the shipped
+    /// chain (e.g. TSO frees `(Store, Branch)` so buffered stores can
+    /// drain past branches).
+    pub fn at_least_as_strong(&self, weaker: &ConstraintTable) -> bool {
+        self.cells().all(|(first, second, mine)| {
+            let memory_cell = matches!(first, OpClass::Load | OpClass::Store | OpClass::Fence)
+                && matches!(second, OpClass::Load | OpClass::Store | OpClass::Fence);
+            !memory_cell
+                || mine.observational_strength()
+                    >= weaker.entry(first, second).observational_strength()
+        })
     }
 }
 
@@ -360,6 +425,14 @@ impl Policy {
         strongest
     }
 
+    /// Whether this model's table is observationally at least as strong
+    /// as `weaker`'s on every memory-relevant cell; see
+    /// [`ConstraintTable::at_least_as_strong`]. The shipped chain
+    /// satisfies `SC ⊒ TSO ⊒ PSO ⊒ Weak`.
+    pub fn at_least_as_strong(&self, weaker: &Policy) -> bool {
+        self.table.at_least_as_strong(&weaker.table)
+    }
+
     /// Whether the table contains any [`Constraint::Bypass`] entry (i.e. the
     /// model is non-atomic in the TSO sense).
     pub fn has_bypass(&self) -> bool {
@@ -512,6 +585,51 @@ mod tests {
         assert!(Bypass.is_address_sensitive());
         assert!(!Never.is_address_sensitive());
         assert!(!Free.is_address_sensitive());
+    }
+
+    #[test]
+    fn cells_visits_all_25_entries_in_row_major_order() {
+        let t = *Policy::weak().table();
+        let cells: Vec<_> = t.cells().collect();
+        assert_eq!(cells.len(), 25);
+        assert_eq!(cells[0], (OpClass::Compute, OpClass::Compute, DataOnly));
+        assert_eq!(
+            cells[OpClass::Store.index() * 5 + OpClass::Load.index()],
+            (OpClass::Store, OpClass::Load, SameAddr)
+        );
+    }
+
+    #[test]
+    fn shipped_chain_is_monotonically_strong() {
+        let chain = [
+            Policy::sequential_consistency(),
+            Policy::tso(),
+            Policy::pso(),
+            Policy::weak(),
+        ];
+        for pair in chain.windows(2) {
+            assert!(
+                pair[0].at_least_as_strong(&pair[1]),
+                "{} should be at least as strong as {}",
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+        // The weak model is strictly weaker than SC, not just incomparable.
+        assert!(!Policy::weak().at_least_as_strong(&Policy::sequential_consistency()));
+    }
+
+    #[test]
+    fn strength_orders_match_combined_constraint_merge() {
+        assert!(Never.strength() > SameAddr.strength());
+        assert!(SameAddr.strength() > Bypass.strength());
+        assert!(Bypass.strength() > Free.strength());
+        assert_eq!(Free.strength(), DataOnly.strength());
+        // Observationally, bypass and the x != y edge coincide.
+        assert_eq!(
+            Bypass.observational_strength(),
+            SameAddr.observational_strength()
+        );
     }
 
     #[test]

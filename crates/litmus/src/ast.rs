@@ -162,7 +162,7 @@ pub struct Condition {
 }
 
 /// A complete symbolic litmus test.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LitmusTest {
     /// Test name (`SB`, `fig3`, ...).
     pub name: String,

@@ -22,6 +22,14 @@ use crate::catalog::{CatalogEntry, ModelSel};
 /// [`enumerate_parallel`].
 type Engine = fn(&Program, &Policy, &EnumConfig) -> Result<EnumResult, EnumError>;
 
+/// An SC-equivalence certifier: returns `true` when it can prove the
+/// program's behaviour set under the given (weak) policy equals its SC
+/// behaviour set, licensing the harness to reuse a single SC enumeration
+/// instead of enumerating under the weak model. `samm-analyze` provides
+/// the static DRF/total-order certifier; `|_, _| false` disables the
+/// short-circuit.
+pub type Certifier<'a> = &'a dyn Fn(&Program, &Policy) -> bool;
+
 /// One evaluated verdict.
 #[derive(Debug, Clone)]
 pub struct VerdictRow {
@@ -37,6 +45,10 @@ pub struct VerdictRow {
     pub outcomes: usize,
     /// Total distinct executions under the model.
     pub executions: usize,
+    /// `true` when this row was answered by an SC-equivalence
+    /// certificate instead of a fresh enumeration under the model: the
+    /// outcome set (and the reported counts) are the SC run's.
+    pub certified: bool,
 }
 
 impl VerdictRow {
@@ -66,7 +78,11 @@ impl fmt::Display for VerdictRow {
             },
             self.outcomes,
             self.executions,
-        )
+        )?;
+        if self.certified {
+            write!(f, " [certified SC-equivalent]")?;
+        }
+        Ok(())
     }
 }
 
@@ -108,7 +124,39 @@ impl fmt::Display for EntryReport {
 ///
 /// Propagates enumeration failures.
 pub fn run_entry(entry: &CatalogEntry, config: &EnumConfig) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate)
+    run_entry_with(entry, config, enumerate, None)
+}
+
+/// Like [`run_entry`], but consulting `certifier` before enumerating
+/// under each non-SC model: models the certifier proves SC-equivalent
+/// reuse a single SC enumeration, and their rows are marked
+/// [`VerdictRow::certified`]. For certified rows the reported outcome
+/// and execution counts are the SC run's (outcome sets are provably
+/// equal; execution counts coincide for the certificate shapes the
+/// static analyzer emits).
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry_certified(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    certifier: Certifier<'_>,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate, Some(certifier))
+}
+
+/// The work-stealing variant of [`run_entry_certified`].
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry_certified_parallel(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    certifier: Certifier<'_>,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate_parallel, Some(certifier))
 }
 
 /// Like [`run_entry`], but enumerating on the work-stealing pool
@@ -124,24 +172,42 @@ pub fn run_entry_parallel(
     entry: &CatalogEntry,
     config: &EnumConfig,
 ) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate_parallel)
+    run_entry_with(entry, config, enumerate_parallel, None)
 }
 
 fn run_entry_with(
     entry: &CatalogEntry,
     config: &EnumConfig,
     engine: Engine,
+    certifier: Option<Certifier<'_>>,
 ) -> Result<EntryReport, EnumError> {
-    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize)> = BTreeMap::new();
+    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize, bool)> = BTreeMap::new();
+    let mut sc_result: Option<(OutcomeSet, usize)> = None;
     for model in entry.models() {
-        let result = engine(&entry.test.program, &model.policy(), config)?;
-        outcome_cache.insert(model, (result.outcomes, result.stats.distinct_executions));
+        let policy = model.policy();
+        let certified =
+            model != ModelSel::Sc && certifier.is_some_and(|c| c(&entry.test.program, &policy));
+        if certified {
+            if sc_result.is_none() {
+                let sc = engine(&entry.test.program, &ModelSel::Sc.policy(), config)?;
+                sc_result = Some((sc.outcomes, sc.stats.distinct_executions));
+            }
+            let (outcomes, executions) = sc_result.clone().expect("just computed");
+            outcome_cache.insert(model, (outcomes, executions, true));
+        } else {
+            let result = engine(&entry.test.program, &policy, config)?;
+            let pair = (result.outcomes, result.stats.distinct_executions);
+            if model == ModelSel::Sc {
+                sc_result = Some(pair.clone());
+            }
+            outcome_cache.insert(model, (pair.0, pair.1, false));
+        }
     }
     let rows = entry
         .verdicts
         .iter()
         .map(|v| {
-            let (outcomes, executions) = &outcome_cache[&v.model];
+            let (outcomes, executions, certified) = &outcome_cache[&v.model];
             let condition = &entry.test.conditions[v.condition];
             VerdictRow {
                 model: v.model,
@@ -150,6 +216,7 @@ fn run_entry_with(
                 observed_allowed: condition.observable_in(outcomes),
                 outcomes: outcomes.len(),
                 executions: *executions,
+                certified: *certified,
             }
         })
         .collect();

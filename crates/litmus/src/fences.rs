@@ -17,6 +17,7 @@ use samm_core::error::EnumError;
 use samm_core::instr::{Instr, Program, ThreadProgram};
 use samm_core::parallel::enumerate_parallel;
 use samm_core::policy::Policy;
+use samm_core::static_order::fence_slot_is_vacuous;
 
 use crate::ast::CompiledCondition;
 
@@ -80,6 +81,20 @@ pub fn fence_slots(program: &Program) -> Vec<FenceSlot> {
         }
     }
     slots
+}
+
+/// The insertion slots where a fence could actually add ordering under
+/// `policy`: [`fence_slots`] minus the provably *vacuous* ones (see
+/// [`fence_slot_is_vacuous`] — slots where every memory pair the fence
+/// would order is already guaranteed-ordered by the table). The
+/// synthesizer only searches these, which is sound because a slot
+/// vacuous in the base program stays vacuous after other fences are
+/// added: extra fences only grow the guaranteed order.
+pub fn useful_fence_slots(program: &Program, policy: &Policy) -> Vec<FenceSlot> {
+    fence_slots(program)
+        .into_iter()
+        .filter(|&(t, pos)| !fence_slot_is_vacuous(&program.threads()[t], policy, pos))
+        .collect()
 }
 
 /// Builds the program with fences at `placements` (positions given against
@@ -181,7 +196,7 @@ fn synthesize_fences_with(
         keep_executions: false,
         ..config.clone()
     };
-    let slots = fence_slots(program);
+    let slots = useful_fence_slots(program, policy);
     let mut chosen: Vec<FenceSlot> = Vec::new();
     for k in 0..=max_fences.min(slots.len()) {
         if let Some(fix) = search_k(
@@ -407,6 +422,40 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn vacuous_slots_are_pruned_before_search() {
+        // Under SC every memory pair is already Never-ordered, so every
+        // fence slot is vacuous and the search space collapses to the
+        // empty placement.
+        let entry = catalog::sb();
+        assert!(
+            useful_fence_slots(&entry.test.program, &Policy::sequential_consistency()).is_empty()
+        );
+        // Under the weak model the SB slots (between each thread's store
+        // and load) genuinely add ordering and must survive the filter.
+        let useful = useful_fence_slots(&entry.test.program, &Policy::weak());
+        assert_eq!(useful, fence_slots(&entry.test.program));
+        // Under TSO the store→load pair is the only reorderable one, so
+        // the SB slots stay useful there too.
+        assert!(!useful_fence_slots(&entry.test.program, &Policy::tso()).is_empty());
+    }
+
+    #[test]
+    fn pruned_search_still_reports_unfixable_races() {
+        // Even with every slot pruned (SC), an observable condition must
+        // still come back `None` rather than panic or mis-report.
+        let entry = catalog::broken_increment();
+        let fix = synthesize_fences(
+            &entry.test.program,
+            &entry.test.conditions[0],
+            &Policy::sequential_consistency(),
+            4,
+            &EnumConfig::default(),
+        )
+        .expect("enumeration succeeds");
+        assert!(fix.is_none());
     }
 
     #[test]

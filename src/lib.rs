@@ -8,6 +8,9 @@
 //!   axioms, Store Atomicity, behaviour enumeration, speculation, TSO;
 //! * [`litmus`] ([`samm_litmus`]) — litmus-test programs, parser, catalog
 //!   (classic tests + every figure of the paper), expectation harness;
+//! * [`analyze`] ([`samm_analyze`]) — static race detector, DRF-SC
+//!   certifier (short-circuits weak-model enumeration to one SC run) and
+//!   the `samm-lint` policy-axiom/litmus linter;
 //! * [`oper`] ([`samm_oper`]) — operational reference models: interleaving
 //!   SC and store-buffer TSO/PSO machines;
 //! * [`coherence`] ([`samm_coherence`]) — a MESI directory protocol
@@ -16,6 +19,7 @@
 //! See the workspace `README.md` for a tour and `examples/` for runnable
 //! entry points.
 
+pub use samm_analyze as analyze;
 pub use samm_coherence as coherence;
 pub use samm_core as core;
 pub use samm_litmus as litmus;

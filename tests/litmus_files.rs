@@ -96,14 +96,61 @@ fn every_file_round_trips_through_the_printer() {
         let test = parser::parse(&source).unwrap();
         let printed = printer::print(&test).unwrap_or_else(|e| panic!("{name}: print: {e}"));
         let reparsed = parser::parse(&printed).unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
-        assert_eq!(test.threads, reparsed.threads, "{name}");
-        assert_eq!(test.init, reparsed.init, "{name}");
+        assert_eq!(
+            test, reparsed,
+            "{name}: full AST (name, threads, init, conditions) must round-trip"
+        );
         assert_eq!(
             test.compile().unwrap().program,
             reparsed.compile().unwrap().program,
             "{name}: compiled programs must coincide"
         );
     }
+}
+
+#[test]
+fn builder_kitchen_sink_round_trips_through_the_printer() {
+    // A programmatically built test exercising every symbolic instruction
+    // variant and operand shape at once — paths an individual corpus file
+    // may miss (pointer stores, all three RMWs, binops, jumps, halt,
+    // address-valued condition clauses). Full AST equality.
+    use samm::core::instr::BinOp;
+    use samm::litmus::ast::SymOperand;
+    use samm::litmus::{printer, LitmusBuilder};
+    let builder = LitmusBuilder::new("kitchen-sink")
+        .init("x", 7)
+        .init_addr_of("p", "y")
+        .thread("P0", |t| {
+            t.store("x", 1)
+                .fence()
+                .store_addr_of("q", "x")
+                .load("r0", "p")
+                .load_via("r1", "r0")
+                .store_via("r0", 9)
+                .mov("r2", 3)
+                .binop("r3", BinOp::Add, SymOperand::reg("r2"), SymOperand::Imm(4))
+                .branch_nz("r3", "done")
+                .store("y", 2)
+                .label("done")
+                .halt();
+        })
+        .thread("P1", |t| {
+            t.cas("r0", "x", 7, 8)
+                .swap("r1", "y", 5)
+                .fetch_add("r2", "x", 1)
+                .goto("end")
+                .label("end");
+        })
+        .forbid(&[("P0", "r1", 0), ("P1", "r0", 7)])
+        .allow_with_addr(&[("P1", "r2", 8)], ("P0", "r0", "y"));
+    let test = builder.symbolic().clone();
+    let printed = printer::print(&test).expect("printable");
+    let reparsed =
+        samm::litmus::parser::parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+    assert_eq!(
+        test, reparsed,
+        "kitchen-sink AST must round-trip:\n{printed}"
+    );
 }
 
 #[test]
