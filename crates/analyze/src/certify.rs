@@ -29,6 +29,8 @@
 
 use std::fmt;
 
+use samm_core::enumerate::EnumConfig;
+use samm_core::explain::{find_witness, Goal, Witness};
 use samm_core::instr::Program;
 use samm_core::policy::{Constraint, OpClass, Policy};
 use samm_core::static_order::{guaranteed_edge, thread_events, StaticOrder};
@@ -82,6 +84,45 @@ impl Certificate {
                 single_thread_deterministic(policy) && find_races(program, policy).is_race_free()
             }
             CertReason::TotalLocalOrder => check_total_local_order(program, policy, &self.chains),
+        }
+    }
+
+    /// Grounds the certificate's claim in a concrete, replayable
+    /// artifact: since a checked certificate proves the behaviour set
+    /// under `policy` equals the SC behaviour set, an SC
+    /// [`Witness`] for `goal` *is* a
+    /// witness under the certified policy. The witness is verified
+    /// (replayed and its serialization re-validated) before being
+    /// returned; `Ok(None)` means the goal is unobservable — under SC
+    /// and therefore, by the certificate, under `policy` too.
+    ///
+    /// # Errors
+    ///
+    /// When the certificate itself fails [`Certificate::check`], when
+    /// the SC enumeration fails, or when the found witness does not
+    /// replay.
+    pub fn cite_witness(
+        &self,
+        program: &Program,
+        policy: &Policy,
+        config: &EnumConfig,
+        goal: &Goal,
+    ) -> Result<Option<Witness>, String> {
+        if !self.check(program, policy) {
+            return Err(format!(
+                "certificate for policy {} does not check against this program",
+                self.policy
+            ));
+        }
+        let sc = Policy::sequential_consistency();
+        let witness = find_witness(program, &sc, config, goal)
+            .map_err(|e| format!("SC enumeration failed: {e}"))?;
+        match witness {
+            None => Ok(None),
+            Some(w) => {
+                w.verify(program, &sc, config.max_nodes_per_thread)?;
+                Ok(Some(w))
+            }
         }
     }
 }
@@ -357,6 +398,41 @@ mod tests {
             val: imm(2),
         }]);
         assert!(certify(&Program::new(vec![t, u]), &Policy::weak()).is_none());
+    }
+
+    #[test]
+    fn certificate_cites_a_verified_sc_witness() {
+        use samm_core::enumerate::EnumConfig;
+        use samm_core::explain::Goal;
+
+        let p = fenced_sb();
+        let weak = Policy::weak();
+        let cert = certify(&p, &weak).expect("certifiable");
+        let config = EnumConfig::default();
+        // 1/1 is observable under SC (both stores drain before both
+        // loads), hence under weak by the certificate.
+        let goal = Goal::new(vec![
+            (0, Reg::new(0), Value::new(1)),
+            (1, Reg::new(0), Value::new(1)),
+        ]);
+        let w = cert
+            .cite_witness(&p, &weak, &config, &goal)
+            .expect("certificate checks")
+            .expect("1/1 is SC-observable");
+        assert!(!w.observations.is_empty());
+        // 0/0 is SC-unobservable, hence unobservable under weak too.
+        let forbidden = Goal::new(vec![
+            (0, Reg::new(0), Value::ZERO),
+            (1, Reg::new(0), Value::ZERO),
+        ]);
+        assert!(cert
+            .cite_witness(&p, &weak, &config, &forbidden)
+            .expect("certificate checks")
+            .is_none());
+        // A certificate that does not check refuses to cite anything.
+        assert!(cert
+            .cite_witness(&unfenced_sb(), &weak, &config, &goal)
+            .is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   [`samm_core::static_order`]) and reports every pair of conflicting
 //!   accesses no guaranteed order relates, with a witness explaining
 //!   which table entries fail to order the pair.
-//! * [`certify`] — a DRF-SC certifier. When a program is provably
+//! * [`mod@certify`] — a DRF-SC certifier. When a program is provably
 //!   data-race-free (or its guaranteed order is already total over each
 //!   thread's memory events), [`certify::certify`] emits a
 //!   machine-checkable [`certify::Certificate`] that its behaviour set

@@ -1,0 +1,45 @@
+//! Instrumentation overhead (experiment E19): the same enumeration with
+//! `EnumConfig::observe` off (every instrumentation site is a null
+//! check) versus on (atomic counters + phase timers + closure-rule
+//! tallies). The acceptance bar for the observability layer is that the
+//! disabled configuration stays within noise of the pre-instrumentation
+//! enumerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_litmus::catalog;
+
+fn bench_observe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/enumerate");
+    let cases = [catalog::sb(), catalog::iriw(), catalog::fig10()];
+    for entry in &cases {
+        for observe in [false, true] {
+            let config = EnumConfig {
+                keep_executions: false,
+                observe,
+                ..EnumConfig::default()
+            };
+            let label = format!(
+                "{}/{}",
+                entry.test.name,
+                if observe { "observed" } else { "disabled" }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &config, |b, config| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for model in entry.models() {
+                        let result = enumerate(&entry.test.program, &model.policy(), config)
+                            .expect("enumeration succeeds");
+                        total += result.stats.distinct_executions;
+                    }
+                    std::hint::black_box(total)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_overhead);
+criterion_main!(benches);

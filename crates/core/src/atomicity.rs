@@ -18,12 +18,39 @@
 //! is not serializable — impossible during non-speculative enumeration of a
 //! store-atomic model, and the rollback trigger for speculation.
 
+use std::fmt;
+use std::time::Instant;
+
 use crate::error::CycleError;
-use crate::graph::{EdgeKind, ExecutionGraph};
+use crate::graph::ExecutionGraph;
 use crate::ids::NodeId;
+use crate::obs::Obs;
+
+/// Which of the paper's Figure 6 closure rules demanded an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Rule a: `S @ L ∧ S ≠ source(L) ⇒ S @ source(L)`.
+    A,
+    /// Rule b: `source(L) @ S ⇒ L @ S`.
+    B,
+    /// Rule c: common ancestors of two same-address loads with distinct
+    /// sources precede common descendants of those sources.
+    C,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::A => "a",
+            Rule::B => "b",
+            Rule::C => "c",
+        })
+    }
+}
 
 /// Runs the Store Atomicity rules to a fixpoint, inserting
-/// [`EdgeKind::Atomicity`] edges.
+/// [`crate::graph::EdgeKind::Atomicity`] edges tagged with the [`Rule`]
+/// that demanded each.
 ///
 /// Returns the number of edges inserted.
 ///
@@ -34,18 +61,40 @@ use crate::ids::NodeId;
 /// may be left with some of the implied edges already inserted; callers
 /// treat the whole behaviour as discarded in that case.
 pub fn enforce(graph: &mut ExecutionGraph) -> Result<usize, CycleError> {
+    enforce_observed(graph, None)
+}
+
+/// [`enforce`] with optional instrumentation: when `obs` is present, the
+/// per-rule edge counters, the fixpoint round count, and the closure
+/// wall-clock are accumulated into it.
+///
+/// # Errors
+///
+/// As for [`enforce`].
+pub fn enforce_observed(
+    graph: &mut ExecutionGraph,
+    obs: Option<&Obs>,
+) -> Result<usize, CycleError> {
+    let start = obs.map(|_| Instant::now());
     let mut inserted = 0;
-    loop {
-        let round = enforce_round(graph)?;
-        if round == 0 {
-            return Ok(inserted);
+    let result = loop {
+        if let Some(o) = obs {
+            Obs::add(&o.closure_rounds, 1);
         }
-        inserted += round;
+        match enforce_round(graph, obs) {
+            Ok(0) => break Ok(inserted),
+            Ok(round) => inserted += round,
+            Err(e) => break Err(e),
+        }
+    };
+    if let (Some(o), Some(t)) = (obs, start) {
+        Obs::add(&o.closure_nanos, t.elapsed().as_nanos() as u64);
     }
+    result
 }
 
 /// One pass over the three rules; returns how many new edges were added.
-fn enforce_round(graph: &mut ExecutionGraph) -> Result<usize, CycleError> {
+fn enforce_round(graph: &mut ExecutionGraph, obs: Option<&Obs>) -> Result<usize, CycleError> {
     let mut added = 0;
 
     // Snapshot of the resolved loads: (load, source, addr).
@@ -73,12 +122,18 @@ fn enforce_round(graph: &mut ExecutionGraph) -> Result<usize, CycleError> {
             }
             // Rule a: S @ L ⇒ S @ source(L).
             if graph.precedes(store, load) && !graph.precedes(store, source) {
-                graph.add_edge(store, source, EdgeKind::Atomicity)?;
+                graph.add_atomicity_edge(store, source, Rule::A)?;
+                if let Some(o) = obs {
+                    Obs::add(&o.rule_a, 1);
+                }
                 added += 1;
             }
             // Rule b: source(L) @ S ⇒ L @ S.
             if graph.precedes(source, store) && !graph.precedes(load, store) {
-                graph.add_edge(load, store, EdgeKind::Atomicity)?;
+                graph.add_atomicity_edge(load, store, Rule::B)?;
+                if let Some(o) = obs {
+                    Obs::add(&o.rule_b, 1);
+                }
                 added += 1;
             }
         }
@@ -111,7 +166,10 @@ fn enforce_round(graph: &mut ExecutionGraph) -> Result<usize, CycleError> {
                         return Err(CycleError { from: a, to: b });
                     }
                     if !graph.precedes(a, b) {
-                        graph.add_edge(a, b, EdgeKind::Atomicity)?;
+                        graph.add_atomicity_edge(a, b, Rule::C)?;
+                        if let Some(o) = obs {
+                            Obs::add(&o.rule_c, 1);
+                        }
                         added += 1;
                     }
                 }

@@ -128,12 +128,19 @@ pub fn render_graph(graph: &ExecutionGraph, options: &DotOptions) -> String {
             EdgeKind::AddrResolve => "color=black, style=dotted",
             EdgeKind::Bypass => "color=gray, constraint=false",
         };
+        // Atomicity edges carry the Figure 6 closure rule that inserted
+        // them; surface it as an edge label.
+        let rule_label = match edge.rule {
+            Some(rule) => format!(", label=\"{rule}\""),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "  n{} -> n{} [{} /* {} */];",
+            "  n{} -> n{} [{}{} /* {} */];",
             edge.from.index(),
             edge.to.index(),
             style,
+            rule_label,
             edge.kind
         );
     }

@@ -10,10 +10,12 @@
 //! program under the chosen memory model.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::error::EnumError;
 use crate::exec::{Behavior, StepError};
 use crate::instr::Program;
+use crate::obs::{Obs, ObsStats, PruneReason, TraceEvent, TraceSink};
 use crate::outcome::OutcomeSet;
 use crate::policy::Policy;
 
@@ -36,6 +38,11 @@ pub struct EnumConfig {
     /// "auto" (resolved via [`std::thread::available_parallelism`], like
     /// the default). The serial [`enumerate`] ignores this field.
     pub parallelism: usize,
+    /// Collect [`crate::obs`] instrumentation (closure-rule counters and
+    /// per-phase timings) into [`EnumStats::obs`]. Off by default; when
+    /// off every instrumentation site is a single null check (experiment
+    /// E19 measures the overhead of both settings).
+    pub observe: bool,
 }
 
 impl Default for EnumConfig {
@@ -46,6 +53,7 @@ impl Default for EnumConfig {
             dedup: true,
             keep_executions: true,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            observe: false,
         }
     }
 }
@@ -77,6 +85,34 @@ pub struct EnumStats {
     /// Times an idle worker woke, found no work anywhere, and yielded
     /// (parallel runs only; scheduling-dependent).
     pub idle_wakeups: usize,
+    /// Instrumentation snapshot, present when [`EnumConfig::observe`] was
+    /// set. Counter fields are deterministic; `*_nanos` timings are not
+    /// (compare via [`ObsStats::counters`]).
+    pub obs: Option<ObsStats>,
+}
+
+impl EnumStats {
+    /// Renders the snapshot as a JSON object (hand-rolled; no external
+    /// dependencies). The `obs` field is `null` when instrumentation was
+    /// off.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"explored\":{},\"forks\":{},\"deduped\":{},\"rolled_back\":{},\
+             \"distinct_executions\":{},\"max_graph_nodes\":{},\"workers\":{},\
+             \"steals\":{},\"shard_contention\":{},\"idle_wakeups\":{},\"obs\":{}}}",
+            self.explored,
+            self.forks,
+            self.deduped,
+            self.rolled_back,
+            self.distinct_executions,
+            self.max_graph_nodes,
+            self.workers,
+            self.steals,
+            self.shard_contention,
+            self.idle_wakeups,
+            self.obs.map_or_else(|| "null".to_owned(), |o| o.to_json()),
+        )
+    }
 }
 
 /// The full result of enumerating a program's behaviours.
@@ -107,13 +143,30 @@ pub struct Behaviors {
     seen: HashSet<Vec<u8>>,
     stats: EnumStats,
     finished: bool,
+    /// Shared instrumentation counters (present iff `config.observe`).
+    obs: Option<Arc<Obs>>,
+    /// Event sink for fork/prune/commit events, serial engine only.
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Next fresh behaviour id for trace events (the root is 0).
+    next_trace_id: u64,
 }
 
 impl Behaviors {
     /// Statistics accumulated so far (complete once the iterator is
-    /// drained).
+    /// drained). With [`EnumConfig::observe`] set, includes a live
+    /// [`ObsStats`] snapshot.
     pub fn stats(&self) -> EnumStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(obs) = &self.obs {
+            stats.obs = Some(obs.snapshot());
+        }
+        stats
+    }
+
+    fn record(&self, event: TraceEvent) {
+        if let Some(sink) = &self.trace {
+            sink.record(event);
+        }
     }
 }
 
@@ -136,6 +189,9 @@ impl Iterator for Behaviors {
 
             if behavior.is_complete() {
                 self.stats.distinct_executions += 1;
+                self.record(TraceEvent::Commit {
+                    id: behavior.trace_id(),
+                });
                 return Some(Ok(behavior));
             }
 
@@ -145,9 +201,24 @@ impl Iterator for Behaviors {
                 return Some(Err(EnumError::Stuck));
             }
             for load in loads {
-                for store in behavior.candidates(load) {
+                let stores = behavior.candidates(load);
+                if let Some(obs) = behavior.obs() {
+                    Obs::add(&obs.candidate_calls, 1);
+                    Obs::add(&obs.candidate_stores, stores.len() as u64);
+                }
+                for store in stores {
                     self.stats.forks += 1;
                     let mut fork = behavior.clone();
+                    if self.trace.is_some() {
+                        self.next_trace_id += 1;
+                        fork.set_trace_id(self.next_trace_id);
+                        self.record(TraceEvent::Fork {
+                            parent: behavior.trace_id(),
+                            child: self.next_trace_id,
+                            load,
+                            store,
+                        });
+                    }
                     let step = fork.resolve_load(load, store).and_then(|()| {
                         fork.settle(
                             &self.program,
@@ -159,6 +230,10 @@ impl Iterator for Behaviors {
                         Ok(()) => {
                             if self.config.dedup && !self.seen.insert(fork.canonical_key()) {
                                 self.stats.deduped += 1;
+                                self.record(TraceEvent::Prune {
+                                    child: fork.trace_id(),
+                                    reason: PruneReason::Duplicate,
+                                });
                                 continue;
                             }
                             self.frontier.push(fork);
@@ -166,6 +241,10 @@ impl Iterator for Behaviors {
                         Err(StepError::Inconsistent(e)) => {
                             if self.may_roll_back {
                                 self.stats.rolled_back += 1;
+                                self.record(TraceEvent::Prune {
+                                    child: fork.trace_id(),
+                                    reason: PruneReason::Inconsistent,
+                                });
                             } else {
                                 self.finished = true;
                                 return Some(Err(EnumError::UnexpectedCycle(e)));
@@ -226,8 +305,40 @@ pub fn behaviors(
     policy: &Policy,
     config: &EnumConfig,
 ) -> Result<Behaviors, EnumError> {
+    behaviors_with(program, policy, config, None)
+}
+
+/// Like [`behaviors`], but additionally streaming fork/prune/commit
+/// events into `sink` — the raw material for the witness/refutation
+/// machinery in [`crate::explain`]. Behaviour ids are assigned in fork
+/// order from the root's id 0, so the serial trace is deterministic.
+/// (The parallel engine does not emit trace events: its fork order is
+/// scheduling-dependent.)
+///
+/// # Errors
+///
+/// As for [`behaviors`].
+pub fn behaviors_traced(
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<Behaviors, EnumError> {
+    behaviors_with(program, policy, config, Some(sink))
+}
+
+fn behaviors_with(
+    program: &Program,
+    policy: &Policy,
+    config: &EnumConfig,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> Result<Behaviors, EnumError> {
     let may_roll_back = policy.alias_speculation() || policy.has_bypass() || program.uses_rmw();
+    let obs = config.observe.then(|| Arc::new(Obs::new()));
     let mut root = Behavior::new(program);
+    if let Some(obs) = &obs {
+        root.enable_obs(Arc::clone(obs));
+    }
     match root.settle(program, policy, config.max_nodes_per_thread) {
         Ok(()) => {}
         Err(StepError::NodeLimit { thread, limit }) => {
@@ -248,6 +359,9 @@ pub fn behaviors(
         seen,
         stats: EnumStats::default(),
         finished: false,
+        obs,
+        trace,
+        next_trace_id: 0,
     })
 }
 

@@ -18,6 +18,8 @@
 //! edge closes a cycle is rolled back (discarded) by the enumerator.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::atomicity;
 use crate::candidates;
@@ -25,6 +27,7 @@ use crate::error::CycleError;
 use crate::graph::{EdgeKind, ExecutionGraph, Input, NodeDetail, RmwKind};
 use crate::ids::{Addr, NodeId, Reg, ThreadId, Value};
 use crate::instr::{Instr, Operand, Program, RmwOp};
+use crate::obs::Obs;
 use crate::policy::{Constraint, Policy};
 
 /// Why a behaviour step could not complete.
@@ -136,6 +139,12 @@ pub struct Behavior {
     init_map: BTreeMap<Addr, NodeId>,
     /// Issue-ordered node lists per program thread (for policy edges).
     thread_nodes: Vec<Vec<NodeId>>,
+    /// Shared instrumentation counters; `None` (the default) keeps every
+    /// observation site at a single null check. Forks share the handle.
+    obs: Option<Arc<Obs>>,
+    /// Identity of this behaviour in the serial enumerator's event trace
+    /// (0 for the root; excluded from [`Behavior::canonical_key`]).
+    trace_id: u64,
 }
 
 impl Behavior {
@@ -155,6 +164,8 @@ impl Behavior {
             alias_pairs: Vec::new(),
             init_map: BTreeMap::new(),
             thread_nodes: vec![Vec::new(); program.threads().len()],
+            obs: None,
+            trace_id: 0,
         };
         for (addr, value) in program.init_entries() {
             b.ensure_init(addr, value);
@@ -165,6 +176,26 @@ impl Behavior {
     /// The execution graph built so far.
     pub fn graph(&self) -> &ExecutionGraph {
         &self.graph
+    }
+
+    /// Attaches shared instrumentation counters. Every fork cloned from
+    /// this behaviour reports into the same [`Obs`] block.
+    pub fn enable_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached instrumentation counters, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// This behaviour's identity in the serial enumerator's event trace.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    pub(crate) fn set_trace_id(&mut self, id: u64) {
+        self.trace_id = id;
     }
 
     /// The current PC of a thread.
@@ -623,6 +654,21 @@ impl Behavior {
         policy: &Policy,
         max_nodes_per_thread: u32,
     ) -> Result<(), StepError> {
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let result = self.settle_inner(program, policy, max_nodes_per_thread);
+        if let (Some(t), Some(o)) = (start, &self.obs) {
+            // Includes the closure time of the `enforce` call it makes.
+            Obs::add(&o.settle_nanos, t.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn settle_inner(
+        &mut self,
+        program: &Program,
+        policy: &Policy,
+        max_nodes_per_thread: u32,
+    ) -> Result<(), StepError> {
         loop {
             let generated = self.generate(program, policy, max_nodes_per_thread)?;
             let executed = self.execute(program)?;
@@ -630,7 +676,7 @@ impl Behavior {
                 break;
             }
         }
-        atomicity::enforce(&mut self.graph)?;
+        atomicity::enforce_observed(&mut self.graph, self.obs.as_deref())?;
         Ok(())
     }
 
@@ -760,6 +806,16 @@ impl Behavior {
     /// store), under speculation it triggers rollback. The behaviour must
     /// be discarded in that case.
     pub fn resolve_load(&mut self, load: NodeId, store: NodeId) -> Result<(), StepError> {
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let result = self.resolve_load_inner(load, store);
+        if let (Some(t), Some(o)) = (start, &self.obs) {
+            // Includes the closure time of the `enforce` call it makes.
+            Obs::add(&o.resolve_nanos, t.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn resolve_load_inner(&mut self, load: NodeId, store: NodeId) -> Result<(), StepError> {
         // Deferred bypass pairs targeting this load. The paper states the
         // TSO rule as "S ⊀ L when S = source(L) and S ≺ L otherwise", but
         // taken literally that over-constrains TSO when the *bypassed*
@@ -799,7 +855,7 @@ impl Behavior {
             EdgeKind::Source
         };
         self.graph.add_edge(store, load, kind)?;
-        atomicity::enforce(&mut self.graph)?;
+        atomicity::enforce_observed(&mut self.graph, self.obs.as_deref())?;
         Ok(())
     }
 }

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use crate::atomicity::Rule;
 use crate::bitset::BitSet;
 use crate::closure::Closure;
 use crate::error::CycleError;
@@ -355,6 +356,11 @@ pub struct Edge {
     pub to: NodeId,
     /// Edge kind.
     pub kind: EdgeKind,
+    /// For [`EdgeKind::Atomicity`] edges inserted through
+    /// [`ExecutionGraph::add_atomicity_edge`]: which closure rule of the
+    /// paper's Figure 6 demanded the edge. `None` for every other kind
+    /// (and for atomicity edges built by hand in tests).
+    pub rule: Option<Rule>,
 }
 
 /// A partially ordered execution: the node arena, the typed edge list, and
@@ -501,13 +507,46 @@ impl ExecutionGraph {
         kind: EdgeKind,
     ) -> Result<bool, CycleError> {
         if kind == EdgeKind::Bypass {
-            self.edges.push(Edge { from, to, kind });
+            self.edges.push(Edge {
+                from,
+                to,
+                kind,
+                rule: None,
+            });
             return Ok(true);
         }
         let added = self.closure.add_edge(from, to)?;
         // Record the direct edge even when redundant in the closure: the
         // drawn figures distinguish "required" edges from implied ones.
-        self.edges.push(Edge { from, to, kind });
+        self.edges.push(Edge {
+            from,
+            to,
+            kind,
+            rule: None,
+        });
+        Ok(added)
+    }
+
+    /// Inserts a Store Atomicity edge tagged with the closure [`Rule`]
+    /// that demanded it, so witnesses and refutations can cite the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when the edge would make `@` cyclic; the
+    /// graph is unchanged in that case.
+    pub fn add_atomicity_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        rule: Rule,
+    ) -> Result<bool, CycleError> {
+        let added = self.closure.add_edge(from, to)?;
+        self.edges.push(Edge {
+            from,
+            to,
+            kind: EdgeKind::Atomicity,
+            rule: Some(rule),
+        });
         Ok(added)
     }
 

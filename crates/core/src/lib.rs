@@ -59,8 +59,10 @@
 //! | [`static_order`] | §2, Fig 1 | the statically guaranteed part of `≺` |
 //! | [`sync`] | §8 | well-synchronized-program discipline checker |
 //! | [`dot`] | Fig 2 | Graphviz rendering of execution graphs |
+//! | [`obs`] | — | enumeration counters, timings, and the event-trace sink |
+//! | [`explain`] | Fig 3–11 | witnesses for allowed outcomes, refutations for forbidden ones |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -72,9 +74,11 @@ pub mod dot;
 pub mod enumerate;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod graph;
 pub mod ids;
 pub mod instr;
+pub mod obs;
 pub mod outcome;
 pub mod parallel;
 pub mod policy;
@@ -86,11 +90,19 @@ pub mod sync;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use enumerate::{behaviors, enumerate, Behaviors, EnumConfig, EnumResult, EnumStats};
+pub use atomicity::Rule;
+pub use enumerate::{
+    behaviors, behaviors_traced, enumerate, Behaviors, EnumConfig, EnumResult, EnumStats,
+};
 pub use error::{CycleError, EnumError};
 pub use exec::Behavior;
+pub use explain::{
+    find_witness, refute, BlockedRefutation, Goal, Refutation, RefuteOutcome, RefuteReason,
+    Serialization, Witness,
+};
 pub use ids::{Addr, NodeId, Reg, ThreadId, Value};
 pub use instr::{BinOp, Instr, Operand, Program, ThreadProgram};
+pub use obs::{MemoryTrace, Obs, ObsStats, TraceEvent, TraceSink};
 pub use outcome::{Outcome, OutcomeSet};
 pub use parallel::enumerate_parallel;
 pub use policy::{Constraint, ConstraintTable, OpClass, Policy};

@@ -27,12 +27,13 @@
 use std::collections::{HashSet, VecDeque};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::enumerate::{enumerate, EnumConfig, EnumResult, EnumStats};
 use crate::error::EnumError;
 use crate::exec::{Behavior, StepError};
 use crate::instr::Program;
+use crate::obs::Obs;
 use crate::outcome::OutcomeSet;
 use crate::policy::Policy;
 
@@ -182,7 +183,12 @@ fn refine(
         return;
     }
     for load in loads {
-        for store in behavior.candidates(load) {
+        let stores = behavior.candidates(load);
+        if let Some(obs) = behavior.obs() {
+            Obs::add(&obs.candidate_calls, 1);
+            Obs::add(&obs.candidate_stores, stores.len() as u64);
+        }
+        for store in stores {
             if pool.stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -332,7 +338,16 @@ pub fn enumerate_parallel(
     }
 
     let may_roll_back = policy.alias_speculation() || policy.has_bypass() || program.uses_rmw();
+    // A single Obs block shared by every fork on every worker: relaxed
+    // atomic counters, so the merged snapshot equals the serial engine's
+    // counter totals (the engines apply the same closure to the same fork
+    // set). Trace events are serial-only — fork order here is
+    // scheduling-dependent.
+    let obs = config.observe.then(|| Arc::new(Obs::new()));
     let mut root = Behavior::new(program);
+    if let Some(obs) = &obs {
+        root.enable_obs(Arc::clone(obs));
+    }
     match root.settle(program, policy, config.max_nodes_per_thread) {
         Ok(()) => {}
         Err(StepError::NodeLimit { thread, limit }) => {
@@ -402,6 +417,7 @@ pub fn enumerate_parallel(
         result.outcomes.extend(local.outcomes.iter().cloned());
         keyed.extend(local.executions);
     }
+    result.stats.obs = obs.map(|o| o.snapshot());
 
     // Without dedup, equivalent complete behaviours are reached through
     // several resolution orders; collapse them exactly as the serial

@@ -475,6 +475,92 @@ pub fn is_tso_serializable(behavior: &Behavior) -> bool {
     !tso_serializations(behavior, 1).is_empty()
 }
 
+/// Validates a proposed TSO witness: the base order must be respected and
+/// the order must replay on an atomic memory *with the store-buffer
+/// forwarding exception* — a load whose same-thread, same-address,
+/// program-earlier store appears later in the order forwards from that
+/// (newest such) pending store instead of memory; forwarding is mandatory
+/// while such a store is pending, and RMWs never forward.
+///
+/// # Errors
+///
+/// Returns the first violated condition, mirroring
+/// [`validate_serialization`].
+///
+/// # Panics
+///
+/// Panics if the behaviour is not complete.
+pub fn validate_tso_serialization(
+    behavior: &Behavior,
+    order: &[NodeId],
+) -> Result<(), SerializationError> {
+    assert!(
+        behavior.is_complete(),
+        "validation needs a complete behaviour"
+    );
+    let graph = behavior.graph();
+    let mut expected: Vec<NodeId> = graph.memory_ops().collect();
+    expected.sort();
+    let mut given: Vec<NodeId> = order.to_vec();
+    given.sort();
+    given.dedup();
+    if expected != given {
+        return Err(SerializationError::WrongOperations);
+    }
+
+    let base = base_closure(behavior).ok_or(SerializationError::WrongOperations)?;
+    let position: HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+    for &op in order {
+        for p in base.predecessors(op).iter().map(NodeId::new) {
+            if graph.node(p).is_memory() && position[&p] > position[&op] {
+                return Err(SerializationError::LocalOrderViolated {
+                    first: p,
+                    second: op,
+                });
+            }
+        }
+    }
+
+    // Replay with the forwarding exception: the newest same-thread,
+    // same-address, program-earlier store placed *later* in the order is
+    // still "in the buffer" and must be the load's source.
+    let mut last_store: HashMap<Addr, NodeId> = HashMap::new();
+    for (i, &op) in order.iter().enumerate() {
+        let node = graph.node(op);
+        let addr = node.addr().expect("complete execution has addresses");
+        if node.is_load() {
+            let pending = order[i + 1..]
+                .iter()
+                .map(|&later| (later, graph.node(later)))
+                .filter(|(_, n)| {
+                    n.is_store()
+                        && n.thread() == node.thread()
+                        && n.addr() == Some(addr)
+                        && n.index_in_thread() < node.index_in_thread()
+                })
+                .max_by_key(|(_, n)| n.index_in_thread())
+                .map(|(later, _)| later);
+            let expected = match pending {
+                // RMWs never forward: a pending same-address local store
+                // makes this placement illegal outright.
+                Some(_) if node.is_rmw() => {
+                    return Err(SerializationError::SourceNotMostRecent { load: op })
+                }
+                Some(pending) => Some(pending),
+                None => last_store.get(&addr).copied(),
+            };
+            if expected != node.source() {
+                return Err(SerializationError::SourceNotMostRecent { load: op });
+            }
+        }
+        if node.is_store() {
+            last_store.insert(addr, op);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

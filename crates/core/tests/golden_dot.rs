@@ -1,0 +1,75 @@
+//! Golden snapshot of the DOT rendering for a small litmus execution.
+//!
+//! Guards the exporter's stable node ordering and edge styling: the
+//! witness search is deterministic, node ids are assigned in generation
+//! order, and edges are emitted in insertion order, so the rendering of
+//! a fixed execution must be byte-identical across runs and refactors.
+//! If the format changes *intentionally*, update the golden string.
+
+use samm_core::dot::{render, DotOptions};
+use samm_core::enumerate::EnumConfig;
+use samm_core::explain::{find_witness, Goal};
+use samm_core::ids::{Reg, Value};
+use samm_core::instr::{Instr, Program, ThreadProgram};
+use samm_core::policy::Policy;
+
+fn sb() -> Program {
+    let t = |mine: u64, theirs: u64| {
+        ThreadProgram::new(vec![
+            Instr::Store {
+                addr: mine.into(),
+                val: 1u64.into(),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: theirs.into(),
+            },
+        ])
+    };
+    Program::new(vec![t(0, 1), t(1, 0)])
+}
+
+#[test]
+fn sb_sc_witness_renders_to_golden_dot() {
+    let config = EnumConfig::default();
+    let sc = Policy::sequential_consistency();
+    // 1/1 — both stores drain before both loads; allowed under SC.
+    let goal = Goal::new(vec![
+        (0, Reg::new(0), Value::new(1)),
+        (1, Reg::new(0), Value::new(1)),
+    ]);
+    let witness = find_witness(&sb(), &sc, &config, &goal)
+        .expect("enumeration succeeds")
+        .expect("1/1 is SC-allowed");
+    let options = DotOptions {
+        title: "SB [SC] 1/1".to_owned(),
+        ..DotOptions::default()
+    };
+    let dot = render(&witness.execution, &options);
+    let golden = "digraph execution {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n  label=\"SB [SC] 1/1\";\n  labelloc=t;\n  subgraph cluster_t0 {\n    label=\"Thread T0\"; style=rounded;\n    n0 [label=\"T0.0: S @0,1\"];\n    n1 [label=\"T0.1: L @1 = 1\"];\n  }\n  subgraph cluster_t1 {\n    label=\"Thread T1\"; style=rounded;\n    n2 [label=\"T1.0: S @1,1\"];\n    n3 [label=\"T1.1: L @0 = 1\"];\n  }\n  subgraph cluster_init {\n    label=\"initial memory\"; style=dotted;\n    n4 [label=\"init @0,0\"];\n    n5 [label=\"init @1,0\"];\n  }\n  n0 -> n1 [color=black /* program */];\n  n2 -> n3 [color=black /* program */];\n  n0 -> n3 [color=black, penwidth=2, arrowhead=odot /* source */];\n  n2 -> n1 [color=black, penwidth=2, arrowhead=odot /* source */];\n}\n";
+    assert_eq!(dot, golden, "rendered:\n{dot}");
+}
+
+#[test]
+fn sb_sc_witness_with_rule_labelled_atomicity_edge() {
+    // 0/1: T0 runs to completion first, so T0's load observes the
+    // initial value and closure rule b then orders it before T1's
+    // store. That Store Atomicity consequence renders as a dashed edge
+    // labelled with its Figure 6 rule.
+    let config = EnumConfig::default();
+    let sc = Policy::sequential_consistency();
+    let goal = Goal::new(vec![
+        (0, Reg::new(0), Value::new(0)),
+        (1, Reg::new(0), Value::new(1)),
+    ]);
+    let witness = find_witness(&sb(), &sc, &config, &goal)
+        .expect("enumeration succeeds")
+        .expect("0/1 is SC-allowed");
+    let options = DotOptions {
+        title: "SB [SC] 0/1".to_owned(),
+        ..DotOptions::default()
+    };
+    let dot = render(&witness.execution, &options);
+    let golden = "digraph execution {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n  label=\"SB [SC] 0/1\";\n  labelloc=t;\n  subgraph cluster_t0 {\n    label=\"Thread T0\"; style=rounded;\n    n0 [label=\"T0.0: S @0,1\"];\n    n1 [label=\"T0.1: L @1 = 0\"];\n  }\n  subgraph cluster_t1 {\n    label=\"Thread T1\"; style=rounded;\n    n2 [label=\"T1.0: S @1,1\"];\n    n3 [label=\"T1.1: L @0 = 1\"];\n  }\n  subgraph cluster_init {\n    label=\"initial memory\"; style=dotted;\n    n4 [label=\"init @0,0\"];\n    n5 [label=\"init @1,0\"];\n  }\n  n0 -> n1 [color=black /* program */];\n  n2 -> n3 [color=black /* program */];\n  n0 -> n3 [color=black, penwidth=2, arrowhead=odot /* source */];\n  n5 -> n1 [color=black, penwidth=2, arrowhead=odot /* source */];\n  n1 -> n2 [color=black, style=dashed, label=\"b\" /* atomicity */];\n}\n";
+    assert_eq!(dot, golden, "rendered:\n{dot}");
+}

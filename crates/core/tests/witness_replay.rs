@@ -1,0 +1,156 @@
+//! Witness replay, completeness, and tamper detection.
+//!
+//! `Witness::verify` re-executes the recorded resolution path against a
+//! fresh behaviour, so a witness is evidence only if replay reproduces
+//! the claimed outcome and the serialization validates. These tests
+//! check completeness (every enumerated outcome is witnessable under
+//! every model) and that tampered witnesses are rejected.
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::explain::{find_witness, Goal, Serialization};
+use samm_core::ids::Reg;
+use samm_core::instr::{Instr, Program, ThreadProgram};
+use samm_core::policy::Policy;
+
+fn sb() -> Program {
+    let t = |mine: u64, theirs: u64| {
+        ThreadProgram::new(vec![
+            Instr::Store {
+                addr: mine.into(),
+                val: 1u64.into(),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: theirs.into(),
+            },
+        ])
+    };
+    Program::new(vec![t(0, 1), t(1, 0)])
+}
+
+/// Figure 10's bypass program: each thread stores to its own variable,
+/// loads it back (forwardable), then loads the other thread's.
+fn forwarding() -> Program {
+    let t = |mine: u64, theirs: u64| {
+        ThreadProgram::new(vec![
+            Instr::Store {
+                addr: mine.into(),
+                val: 1u64.into(),
+            },
+            Instr::Load {
+                dst: Reg::new(0),
+                addr: mine.into(),
+            },
+            Instr::Load {
+                dst: Reg::new(1),
+                addr: theirs.into(),
+            },
+        ])
+    };
+    Program::new(vec![t(0, 1), t(1, 0)])
+}
+
+fn policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("SC", Policy::sequential_consistency()),
+        ("TSO", Policy::tso()),
+        ("PSO", Policy::pso()),
+        ("Weak", Policy::weak()),
+    ]
+}
+
+#[test]
+fn every_enumerated_sb_outcome_is_witnessable_under_every_model() {
+    let program = sb();
+    let config = EnumConfig::default();
+    for (name, policy) in policies() {
+        let result = enumerate(&program, &policy, &config).expect("enumeration succeeds");
+        for outcome in result.outcomes.iter() {
+            let goal = Goal::new(vec![
+                (0, Reg::new(0), outcome.reg(0, Reg::new(0))),
+                (1, Reg::new(0), outcome.reg(1, Reg::new(0))),
+            ]);
+            let witness = find_witness(&program, &policy, &config, &goal)
+                .unwrap_or_else(|e| panic!("[{name}] {outcome}: {e}"))
+                .unwrap_or_else(|| panic!("[{name}] {outcome}: enumerated but unwitnessable"));
+            assert_eq!(witness.outcome, *outcome, "[{name}] witness outcome");
+            witness
+                .verify(&program, &policy, config.max_nodes_per_thread)
+                .unwrap_or_else(|e| panic!("[{name}] {outcome}: replay failed: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tampered_outcome_is_rejected_on_replay() {
+    let program = sb();
+    let config = EnumConfig::default();
+    let policy = Policy::weak();
+    let goal = Goal::new(vec![
+        (0, Reg::new(0), 0u64.into()),
+        (1, Reg::new(0), 0u64.into()),
+    ]);
+    let mut witness = find_witness(&program, &policy, &config, &goal)
+        .expect("enumeration succeeds")
+        .expect("0/0 is Weak-allowed");
+    // Claim a different final value than the replay produces.
+    witness.outcome = samm_core::outcome::Outcome::new(vec![vec![1u64.into()], vec![1u64.into()]]);
+    let err = witness
+        .verify(&program, &policy, config.max_nodes_per_thread)
+        .expect_err("forged outcome must fail verification");
+    assert!(err.contains("outcome"), "unexpected error: {err}");
+}
+
+#[test]
+fn tampered_serialization_is_rejected_on_replay() {
+    let program = sb();
+    let config = EnumConfig::default();
+    let policy = Policy::sequential_consistency();
+    let goal = Goal::new(vec![
+        (0, Reg::new(0), 1u64.into()),
+        (1, Reg::new(0), 1u64.into()),
+    ]);
+    let mut witness = find_witness(&program, &policy, &config, &goal)
+        .expect("enumeration succeeds")
+        .expect("1/1 is SC-allowed");
+    let Serialization::Strict(order) = &mut witness.serialization else {
+        panic!("SC witness must carry a strict serialization");
+    };
+    // Reversing the total order breaks the loads-see-latest-store rule.
+    order.reverse();
+    witness
+        .verify(&program, &policy, config.max_nodes_per_thread)
+        .expect_err("reversed serialization must fail verification");
+}
+
+#[test]
+fn buffered_witness_survives_replay_but_not_reordering() {
+    let program = forwarding();
+    let config = EnumConfig::default();
+    let policy = Policy::tso();
+    // Both threads forward their own store and read 0 from the other:
+    // Figure 10's outcome, which has no strict serialization.
+    let goal = Goal::new(vec![
+        (0, Reg::new(0), 1u64.into()),
+        (0, Reg::new(1), 0u64.into()),
+        (1, Reg::new(0), 1u64.into()),
+        (1, Reg::new(1), 0u64.into()),
+    ]);
+    let mut witness = find_witness(&program, &policy, &config, &goal)
+        .expect("enumeration succeeds")
+        .expect("forwarding outcome is TSO-allowed");
+    assert!(
+        matches!(witness.serialization, Serialization::Buffered(_)),
+        "bypass outcome needs a store-buffer serialization"
+    );
+    witness
+        .verify(&program, &policy, config.max_nodes_per_thread)
+        .expect("genuine buffered witness replays");
+    let Serialization::Buffered(order) = &mut witness.serialization else {
+        unreachable!()
+    };
+    order.reverse();
+    witness
+        .verify(&program, &policy, config.max_nodes_per_thread)
+        .expect_err("reversed buffered serialization must fail");
+}

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use samm_core::enumerate::{enumerate, EnumConfig, EnumResult};
+use samm_core::enumerate::{enumerate, EnumConfig, EnumResult, EnumStats};
 use samm_core::error::EnumError;
 use samm_core::instr::Program;
 use samm_core::outcome::OutcomeSet;
@@ -49,6 +49,12 @@ pub struct VerdictRow {
     /// certificate instead of a fresh enumeration under the model: the
     /// outcome set (and the reported counts) are the SC run's.
     pub certified: bool,
+    /// Statistics of the enumeration that answered this row. For
+    /// [certified](VerdictRow::certified) rows these are the SC run's
+    /// stats. With [`EnumConfig::observe`] set they carry an
+    /// [`samm_core::obs::ObsStats`] snapshot in
+    /// [`EnumStats::obs`].
+    pub stats: EnumStats,
 }
 
 impl VerdictRow {
@@ -181,8 +187,9 @@ fn run_entry_with(
     engine: Engine,
     certifier: Option<Certifier<'_>>,
 ) -> Result<EntryReport, EnumError> {
-    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize, bool)> = BTreeMap::new();
-    let mut sc_result: Option<(OutcomeSet, usize)> = None;
+    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize, bool, EnumStats)> =
+        BTreeMap::new();
+    let mut sc_result: Option<(OutcomeSet, usize, EnumStats)> = None;
     for model in entry.models() {
         let policy = model.policy();
         let certified =
@@ -190,24 +197,28 @@ fn run_entry_with(
         if certified {
             if sc_result.is_none() {
                 let sc = engine(&entry.test.program, &ModelSel::Sc.policy(), config)?;
-                sc_result = Some((sc.outcomes, sc.stats.distinct_executions));
+                sc_result = Some((sc.outcomes, sc.stats.distinct_executions, sc.stats));
             }
-            let (outcomes, executions) = sc_result.clone().expect("just computed");
-            outcome_cache.insert(model, (outcomes, executions, true));
+            let (outcomes, executions, stats) = sc_result.clone().expect("just computed");
+            outcome_cache.insert(model, (outcomes, executions, true, stats));
         } else {
             let result = engine(&entry.test.program, &policy, config)?;
-            let pair = (result.outcomes, result.stats.distinct_executions);
+            let triple = (
+                result.outcomes,
+                result.stats.distinct_executions,
+                result.stats,
+            );
             if model == ModelSel::Sc {
-                sc_result = Some(pair.clone());
+                sc_result = Some(triple.clone());
             }
-            outcome_cache.insert(model, (pair.0, pair.1, false));
+            outcome_cache.insert(model, (triple.0, triple.1, false, triple.2));
         }
     }
     let rows = entry
         .verdicts
         .iter()
         .map(|v| {
-            let (outcomes, executions, certified) = &outcome_cache[&v.model];
+            let (outcomes, executions, certified, stats) = &outcome_cache[&v.model];
             let condition = &entry.test.conditions[v.condition];
             VerdictRow {
                 model: v.model,
@@ -217,6 +228,7 @@ fn run_entry_with(
                 outcomes: outcomes.len(),
                 executions: *executions,
                 certified: *certified,
+                stats: *stats,
             }
         })
         .collect();

@@ -1,0 +1,95 @@
+//! Acceptance check for the witness explainer over the whole catalog.
+//!
+//! For every catalog entry and every paper verdict:
+//! - an **allowed** outcome must yield a witness whose serialization and
+//!   observation edges re-execute (via `Witness::verify`) to the same
+//!   final register values, and
+//! - a **forbidden** outcome must yield a refutation; when the guided
+//!   search pinpoints a blocked load, the named closure rule is
+//!   machine-checked (`BlockedRefutation::verify`) to empty that load's
+//!   candidate set.
+
+use samm_core::enumerate::EnumConfig;
+use samm_core::explain::{find_witness, refute, Goal, Refutation, RefuteOutcome};
+use samm_litmus::catalog;
+
+fn config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    }
+}
+
+#[test]
+fn every_allowed_catalog_outcome_has_a_replayable_witness() {
+    let cfg = config();
+    let mut witnesses = 0usize;
+    for entry in catalog::all() {
+        for verdict in entry.verdicts.iter().filter(|v| v.allowed) {
+            let policy = verdict.model.policy();
+            let condition = &entry.test.conditions[verdict.condition];
+            let goal = Goal::new(condition.clauses.clone());
+            let ctx = format!(
+                "{} [{}] {}",
+                entry.test.name,
+                verdict.model.name(),
+                condition.text
+            );
+            let witness = find_witness(&entry.test.program, &policy, &cfg, &goal)
+                .unwrap_or_else(|e| panic!("{ctx}: enumeration failed: {e}"))
+                .unwrap_or_else(|| panic!("{ctx}: allowed but no witness found"));
+            assert!(
+                goal.matches(&witness.outcome),
+                "{ctx}: witness outcome {} does not satisfy the goal",
+                witness.outcome
+            );
+            witness
+                .verify(&entry.test.program, &policy, cfg.max_nodes_per_thread)
+                .unwrap_or_else(|e| panic!("{ctx}: witness failed to replay: {e}"));
+            witnesses += 1;
+        }
+    }
+    // Every paper-allowed verdict in the catalog is witness-backed.
+    assert!(witnesses >= 40, "only {witnesses} allowed verdicts checked");
+}
+
+#[test]
+fn every_forbidden_catalog_outcome_is_refuted_and_machine_checked() {
+    let cfg = config();
+    let (mut blocked, mut exhaustive) = (0usize, 0usize);
+    for entry in catalog::all() {
+        for verdict in entry.verdicts.iter().filter(|v| !v.allowed) {
+            let policy = verdict.model.policy();
+            let condition = &entry.test.conditions[verdict.condition];
+            let goal = Goal::new(condition.clauses.clone());
+            let ctx = format!(
+                "{} [{}] {}",
+                entry.test.name,
+                verdict.model.name(),
+                condition.text
+            );
+            match refute(&entry.test.program, &policy, &cfg, &goal)
+                .unwrap_or_else(|e| panic!("{ctx}: enumeration failed: {e}"))
+            {
+                RefuteOutcome::Refuted(Refutation::Blocked(b)) => {
+                    b.verify(&entry.test.program, &policy, cfg.max_nodes_per_thread)
+                        .unwrap_or_else(|e| panic!("{ctx}: refutation failed: {e}"));
+                    blocked += 1;
+                }
+                RefuteOutcome::Refuted(Refutation::Exhaustive { .. }) => exhaustive += 1,
+                RefuteOutcome::Observable(w) => {
+                    panic!("{ctx}: forbidden but observable: {}", w.outcome)
+                }
+            }
+        }
+    }
+    // The guided search explains most forbidden verdicts with a pinned
+    // blocked load; branching goals legitimately fall back to
+    // exhaustion, but they are the minority.
+    assert!(blocked >= 10, "only {blocked} blocked refutations");
+    assert!(
+        blocked + exhaustive >= 30,
+        "only {} forbidden verdicts checked",
+        blocked + exhaustive
+    );
+}

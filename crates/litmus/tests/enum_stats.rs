@@ -1,0 +1,124 @@
+//! Cross-engine checks for the enumeration instrumentation counters.
+//!
+//! The serial and parallel engines apply the same closure to the same
+//! fork set, so every scheduling-independent counter must agree between
+//! them, and the serial engine must be bit-for-bit deterministic.
+
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::parallel::enumerate_parallel;
+use samm_litmus::catalog;
+
+fn observed_config() -> EnumConfig {
+    EnumConfig {
+        keep_executions: false,
+        observe: true,
+        ..EnumConfig::default()
+    }
+}
+
+#[test]
+fn sb_under_sc_records_dedup_hits_and_rule_applications() {
+    let entry = catalog::sb();
+    let config = observed_config();
+    let sc = samm_litmus::catalog::ModelSel::Sc.policy();
+    let result = enumerate(&entry.test.program, &sc, &config).expect("enumeration succeeds");
+    // SB under SC interleaves two independent forks into the same final
+    // graphs, so the canonical-key dedup must fire.
+    assert!(result.stats.deduped > 0, "stats: {:?}", result.stats);
+    let obs = result.stats.obs.expect("observe=true populates obs");
+    // Every load resolution consults candidates() and runs the closure.
+    assert!(obs.candidate_calls > 0, "obs: {obs:?}");
+    assert!(obs.closure_rounds > 0, "obs: {obs:?}");
+    // SC outcomes are justified by rule-b edges (observed loads precede
+    // later overwrites of their source).
+    assert!(obs.rule_b > 0, "obs: {obs:?}");
+}
+
+#[test]
+fn disabled_observation_leaves_obs_empty() {
+    let entry = catalog::sb();
+    let config = EnumConfig {
+        keep_executions: false,
+        ..EnumConfig::default()
+    };
+    let sc = samm_litmus::catalog::ModelSel::Sc.policy();
+    let result = enumerate(&entry.test.program, &sc, &config).expect("enumeration succeeds");
+    assert!(result.stats.obs.is_none());
+}
+
+#[test]
+fn serial_and_parallel_counters_agree_across_the_catalog() {
+    for entry in catalog::all() {
+        for model in entry.models() {
+            let policy = model.policy();
+            let serial_cfg = EnumConfig {
+                parallelism: 1,
+                ..observed_config()
+            };
+            let parallel_cfg = EnumConfig {
+                parallelism: 4,
+                ..observed_config()
+            };
+            let ctx = format!("{} [{}]", entry.test.name, model.name());
+            let serial = enumerate(&entry.test.program, &policy, &serial_cfg)
+                .unwrap_or_else(|e| panic!("{ctx}: serial failed: {e}"));
+            let parallel = enumerate_parallel(&entry.test.program, &policy, &parallel_cfg)
+                .unwrap_or_else(|e| panic!("{ctx}: parallel failed: {e}"));
+            assert_eq!(
+                serial.outcomes, parallel.outcomes,
+                "{ctx}: outcome sets diverge"
+            );
+            // Fork structure is engine-independent: both engines expand
+            // the same dedup-pruned behaviour tree.
+            assert_eq!(serial.stats.forks, parallel.stats.forks, "{ctx}: forks");
+            assert_eq!(
+                serial.stats.deduped, parallel.stats.deduped,
+                "{ctx}: deduped"
+            );
+            assert_eq!(
+                serial.stats.distinct_executions, parallel.stats.distinct_executions,
+                "{ctx}: distinct executions"
+            );
+            assert_eq!(
+                serial.stats.rolled_back, parallel.stats.rolled_back,
+                "{ctx}: rolled back"
+            );
+            // Closure-rule counters (timings excluded) also match.
+            let so = serial.stats.obs.expect("serial obs").counters();
+            let po = parallel.stats.obs.expect("parallel obs").counters();
+            assert_eq!(so.rule_a, po.rule_a, "{ctx}: rule a");
+            assert_eq!(so.rule_b, po.rule_b, "{ctx}: rule b");
+            assert_eq!(so.rule_c, po.rule_c, "{ctx}: rule c");
+            assert_eq!(
+                so.candidate_calls, po.candidate_calls,
+                "{ctx}: candidate calls"
+            );
+            assert_eq!(
+                so.candidate_stores, po.candidate_stores,
+                "{ctx}: candidate stores"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_stats_are_deterministic() {
+    let config = observed_config();
+    for entry in [catalog::sb(), catalog::iriw(), catalog::fig10()] {
+        for model in entry.models() {
+            let policy = model.policy();
+            let a = enumerate(&entry.test.program, &policy, &config).expect("run 1");
+            let b = enumerate(&entry.test.program, &policy, &config).expect("run 2");
+            let ctx = format!("{} [{}]", entry.test.name, model.name());
+            assert_eq!(a.outcomes, b.outcomes, "{ctx}: outcomes");
+            // Timings differ run to run; everything else is exact.
+            let (mut sa, mut sb) = (a.stats, b.stats);
+            let (oa, ob) = (
+                sa.obs.take().expect("obs").counters(),
+                sb.obs.take().expect("obs").counters(),
+            );
+            assert_eq!(sa, sb, "{ctx}: base stats");
+            assert_eq!(oa, ob, "{ctx}: obs counters");
+        }
+    }
+}

@@ -183,7 +183,7 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
     }
 
-    /// Uniform choice between boxed alternatives (the [`prop_oneof!`]
+    /// Uniform choice between boxed alternatives (the [`prop_oneof!`](crate::prop_oneof)
     /// expansion).
     pub struct Union<T> {
         options: Vec<Box<dyn Strategy<Value = T>>>,
