@@ -1,7 +1,8 @@
 //! `samm-lint` — policy-axiom and litmus-file linter.
 //!
 //! ```text
-//! samm-lint [--policy NAME] [--models] [--catalog] [--deny-warnings] [PATH...]
+//! samm-lint [--policy NAME] [--models] [--catalog] [--deny-warnings]
+//!           [--jobs N] [PATH...]
 //! ```
 //!
 //! * `PATH...` — `.litmus` files or directories to scan (recursively);
@@ -13,6 +14,9 @@
 //!   axioms plus the `SC ⊒ TSO ⊒ PSO ⊒ Weak` containment chain.
 //! * `--catalog` — lint every built-in catalog entry's program.
 //! * `--deny-warnings` — exit non-zero on warnings too (CI mode).
+//! * `--jobs N` — lint `.litmus` files with N worker threads (default:
+//!   the `SAMM_JOBS` environment variable, else the core count).
+//!   Diagnostics stay in stable file order regardless of N.
 //!
 //! Exit status: 0 clean, 1 diagnostics (errors always; warnings only
 //! with `--deny-warnings`), 2 usage or I/O failure.
@@ -21,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use samm_analyze::lint::{lint_builtin_models, lint_litmus, Diagnostic, Severity};
+use samm_core::enumerate::default_parallelism;
 use samm_core::policy::Policy;
 use samm_litmus::{catalog, parse};
 
@@ -29,11 +34,12 @@ struct Options {
     models: bool,
     catalog: bool,
     deny_warnings: bool,
+    jobs: usize,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: samm-lint [--policy NAME] [--models] [--catalog] [--deny-warnings] [PATH...]\n\
+    "usage: samm-lint [--policy NAME] [--models] [--catalog] [--deny-warnings] [--jobs N] [PATH...]\n\
      policies: sc, tso, naive-tso, pso, weak (default weak)"
 }
 
@@ -43,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         models: false,
         catalog: false,
         deny_warnings: false,
+        jobs: default_parallelism(),
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -62,6 +69,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--models" => opts.models = true,
             "--catalog" => opts.catalog = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| "--jobs needs a positive integer".to_owned())?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
@@ -120,20 +134,54 @@ fn run(opts: &Options) -> Result<Vec<Diagnostic>, String> {
         }
         collect_litmus_files(path, &mut files).map_err(|e| format!("{}: {e}", path.display()))?;
     }
-    for file in files {
-        match lint_file(&file, &opts.policy) {
-            Ok(file_diags) => {
-                for d in file_diags {
-                    diags.push(Diagnostic {
-                        message: format!("{}: {}", file.display(), d.message),
-                        ..d
-                    });
-                }
-            }
+    for result in lint_files_parallel(&files, &opts.policy, opts.jobs) {
+        match result {
+            Ok(file_diags) => diags.extend(file_diags),
             Err(msg) => return Err(msg),
         }
     }
     Ok(diags)
+}
+
+/// Lints `files` with up to `jobs` worker threads, preserving file
+/// order in the returned results. Each worker claims the next unlinted
+/// index atomically, so the split balances regardless of file sizes.
+fn lint_files_parallel(
+    files: &[PathBuf],
+    policy: &Policy,
+    jobs: usize,
+) -> Vec<Result<Vec<Diagnostic>, String>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    type FileResult = Result<Vec<Diagnostic>, String>;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<FileResult>>> =
+        Mutex::new((0..files.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.max(1).min(files.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let result = lint_file(file, policy).map(|file_diags| {
+                    file_diags
+                        .into_iter()
+                        .map(|d| Diagnostic {
+                            message: format!("{}: {}", file.display(), d.message),
+                            ..d
+                        })
+                        .collect()
+                });
+                results.lock().expect("lint results poisoned")[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("lint results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index claimed"))
+        .collect()
 }
 
 fn main() -> ExitCode {

@@ -2,17 +2,39 @@
 //! measured verdicts — the reproduction record behind `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p samm-bench --bin experiments`
+//!
+//! Flags: `--jobs <n>` sets `EnumConfig::parallelism` for every
+//! experiment (default: `SAMM_JOBS`, else the core count); `--cache
+//! <file>` loads/saves the content-addressed enumeration cache, so a
+//! rerun answers repeated (program, policy, config) queries from disk.
+//! All verdict-matrix experiments share one in-process cache either
+//! way; the cache-summary section at the end reports the hit rate.
 
+use std::sync::OnceLock;
+
+use samm_core::cache::{cached_enumerate, EnumCache};
 use samm_core::enumerate::{enumerate, EnumConfig};
 use samm_core::policy::Policy;
 use samm_core::speculation;
 use samm_litmus::{catalog, expect, ModelSel};
 
+/// `--jobs` override, set once in `main`.
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+/// The process-wide content-addressed enumeration cache shared by every
+/// verdict-matrix experiment.
+static CACHE: OnceLock<EnumCache> = OnceLock::new();
+
+fn cache() -> &'static EnumCache {
+    CACHE.get_or_init(|| EnumCache::new(1024))
+}
+
 fn config() -> EnumConfig {
-    EnumConfig {
-        keep_executions: false,
-        ..EnumConfig::default()
+    let mut builder = EnumConfig::builder().keep_executions(false);
+    if let Some(&jobs) = JOBS.get() {
+        builder = builder.parallelism(jobs);
     }
+    builder.build()
 }
 
 fn heading(s: &str) {
@@ -41,7 +63,8 @@ fn experiment_figures() {
     let mut pass = 0usize;
     let mut total = 0usize;
     for entry in catalog::paper_figures() {
-        let report = expect::run_entry(&entry, &config()).expect("enumeration succeeds");
+        let report =
+            expect::run_entry_cached(&entry, &config(), cache()).expect("enumeration succeeds");
         println!("\n{report}");
         total += report.rows.len();
         pass += report.rows.iter().filter(|r| r.pass()).count();
@@ -100,7 +123,8 @@ fn experiment_classics() {
         if entry.test.name.starts_with("fig") {
             continue;
         }
-        let report = expect::run_entry(&entry, &config()).expect("enumeration succeeds");
+        let report =
+            expect::run_entry_cached(&entry, &config(), cache()).expect("enumeration succeeds");
         println!("\n{report}");
         total += report.rows.len();
         pass += report.rows.iter().filter(|r| r.pass()).count();
@@ -119,11 +143,15 @@ fn experiment_bracketing() {
     for entry in catalog::all() {
         print!("{:<12}", entry.test.name);
         for model in ModelSel::ALL {
-            let n = enumerate(&entry.test.program, &model.policy(), &config())
-                .expect("enumeration succeeds")
-                .outcomes
-                .len();
-            print!("{n:>10}");
+            let (value, _) = cached_enumerate(
+                cache(),
+                &entry.test.program,
+                &model.policy(),
+                &config(),
+                enumerate,
+            )
+            .expect("enumeration succeeds");
+            print!("{:>10}", value.outcomes.len());
         }
         println!();
     }
@@ -174,9 +202,16 @@ fn experiment_tso() {
         ModelSel::Pso,
         ModelSel::Weak,
     ] {
-        let outcomes = enumerate(&entry.test.program, &model.policy(), &config())
-            .expect("enumeration succeeds")
-            .outcomes;
+        let outcomes = cached_enumerate(
+            cache(),
+            &entry.test.program,
+            &model.policy(),
+            &config(),
+            enumerate,
+        )
+        .expect("enumeration succeeds")
+        .0
+        .outcomes;
         println!(
             "  {:9} -> {} ({} outcomes total)",
             model.name(),
@@ -266,8 +301,14 @@ fn experiment_stats() {
     );
     for entry in catalog::paper_figures() {
         for model in [ModelSel::Sc, ModelSel::Weak] {
-            let r = enumerate(&entry.test.program, &model.policy(), &config())
-                .expect("enumeration succeeds");
+            let (r, _) = cached_enumerate(
+                cache(),
+                &entry.test.program,
+                &model.policy(),
+                &config(),
+                enumerate,
+            )
+            .expect("enumeration succeeds");
             println!(
                 "{:<12} {:>9} {:>10} {:>9} {:>9} {:>11}",
                 entry.test.name,
@@ -325,7 +366,63 @@ fn experiment_parallel() {
     println!("(speedup needs multiple cores; on a single-CPU host expect ~1x or below)");
 }
 
+/// Cache summary: what sharing one content-addressed cache across all
+/// verdict-matrix experiments bought this run.
+fn experiment_cache() {
+    heading("E21 — content-addressed enumeration cache (this run)");
+    let stats = cache().stats();
+    println!("{}", stats.to_json());
+    println!(
+        "hit rate {:.1}% over {} lookups ({} entries resident)",
+        100.0 * stats.hit_rate(),
+        stats.hits + stats.misses,
+        stats.entries
+    );
+}
+
 fn main() {
+    let mut cache_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let jobs = args.next().and_then(|v| v.parse::<usize>().ok());
+                match jobs.filter(|&n| n > 0) {
+                    Some(jobs) => {
+                        let _ = JOBS.set(jobs);
+                    }
+                    None => {
+                        eprintln!("experiments: --jobs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache" => match args.next() {
+                Some(path) => cache_path = Some(path),
+                None => {
+                    eprintln!("experiments: --cache needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "experiments: unknown argument '{other}' (flags: --jobs N, --cache FILE)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &cache_path {
+        if std::path::Path::new(path).exists() {
+            match cache().load_from(path) {
+                Ok((loaded, skipped)) => {
+                    println!("cache: loaded {loaded} entr(ies) from {path} ({skipped} skipped)");
+                }
+                Err(e) => eprintln!("cache: cannot load {path}: {e}"),
+            }
+        }
+    }
+
     println!("samm experiments — reproducing 'Memory Model = Instruction Reordering + Store Atomicity' (ISCA 2006)");
     experiment_tables();
     experiment_figures();
@@ -338,5 +435,12 @@ fn main() {
     experiment_compression();
     experiment_stats();
     experiment_parallel();
+    experiment_cache();
+    if let Some(path) = &cache_path {
+        match cache().save_to(path) {
+            Ok(saved) => println!("cache: saved {saved} entr(ies) to {path}"),
+            Err(e) => eprintln!("cache: cannot save {path}: {e}"),
+        }
+    }
     println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

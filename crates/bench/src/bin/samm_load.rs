@@ -1,0 +1,278 @@
+//! `samm-load` — load generator for the `samm-serve` litmus-query
+//! service.
+//!
+//! Replays enumerate queries for a catalog subset against a running
+//! server at a configurable concurrency, one pass after another, and
+//! reports per-pass throughput, latency percentiles, and cache hit
+//! rate. With the default two passes the first is the cold (cache-
+//! filling) pass and the second demonstrates the warm hit rate.
+//!
+//! ```text
+//! samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]
+//!           [--subset catalog-small|catalog|figures]
+//!           [--engine serial|parallel] [--shutdown]
+//! ```
+//!
+//! Exits non-zero when any request failed at the protocol or transport
+//! level, so CI can assert a clean run. `--shutdown` sends a
+//! `{"kind":"shutdown"}` request after the last pass, draining the
+//! server.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use samm_litmus::catalog::{self, CatalogEntry};
+use samm_serve::client::Client;
+use samm_serve::json::Json;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Options {
+    addr: String,
+    concurrency: usize,
+    passes: usize,
+    subset: String,
+    engine: String,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7477".to_owned(),
+            concurrency: 8,
+            passes: 2,
+            subset: "catalog-small".to_owned(),
+            engine: "serial".to_owned(),
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]\n\
+         \x20                [--subset catalog-small|catalog|figures]\n\
+         \x20                [--engine serial|parallel] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("samm-load: {flag} needs an argument");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = take("--addr"),
+            "--concurrency" => {
+                opts.concurrency = take("--concurrency").parse().unwrap_or_else(|_| usage())
+            }
+            "--passes" => opts.passes = take("--passes").parse().unwrap_or_else(|_| usage()),
+            "--subset" => opts.subset = take("--subset"),
+            "--engine" => opts.engine = take("--engine"),
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("samm-load: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// The fast classic tests: every model answers well under a second, so
+/// the subset exercises concurrency rather than enumeration depth.
+const SMALL: [&str; 10] = [
+    "SB",
+    "SB+fences",
+    "MP",
+    "MP+fences",
+    "LB",
+    "LB+data",
+    "CoRR",
+    "SB+swap",
+    "fig3",
+    "fig4",
+];
+
+fn subset_entries(subset: &str) -> Vec<CatalogEntry> {
+    match subset {
+        "catalog" => catalog::all(),
+        "figures" => catalog::paper_figures(),
+        "catalog-small" => catalog::all()
+            .into_iter()
+            .filter(|e| SMALL.contains(&e.test.name.as_str()))
+            .collect(),
+        other => {
+            eprintln!("samm-load: unknown subset '{other}'");
+            usage();
+        }
+    }
+}
+
+/// The request lines of one pass: every (test, model) pair of the
+/// subset.
+fn workload(entries: &[CatalogEntry], engine: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    for entry in entries {
+        for model in entry.models() {
+            lines.push(format!(
+                "{{\"kind\":\"enumerate\",\"test\":\"{}\",\"model\":\"{}\",\"engine\":\"{engine}\"}}",
+                entry.test.name,
+                model.name()
+            ));
+        }
+    }
+    lines
+}
+
+#[derive(Default)]
+struct PassTally {
+    latencies_ns: Vec<u64>,
+    hits: u64,
+    errors: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+/// Replays `lines` with `concurrency` connections; every worker owns
+/// one connection and pulls the next request index atomically.
+fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally {
+    let next = AtomicUsize::new(0);
+    let hits = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(lines.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            scope.spawn(|| {
+                let mut client = match Client::connect(addr, TIMEOUT) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("samm-load: connect failed: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(line) = lines.get(i) else { break };
+                    let started = Instant::now();
+                    match client.request_raw(line) {
+                        Ok(response) => {
+                            local.push(started.elapsed().as_nanos() as u64);
+                            if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                                eprintln!("samm-load: error response: {response}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            } else if response.get("cache_hit").and_then(Json::as_bool)
+                                == Some(true)
+                            {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("samm-load: transport error: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut latencies_ns = latencies.into_inner().unwrap();
+    latencies_ns.sort_unstable();
+    PassTally {
+        latencies_ns,
+        hits: hits.into_inner(),
+        errors: errors.into_inner(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let addr: SocketAddr = match opts.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("samm-load: cannot resolve '{}'", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = subset_entries(&opts.subset);
+    let lines = workload(&entries, &opts.engine);
+    println!(
+        "samm-load: {} requests/pass ({} tests, subset {}), {} pass(es), concurrency {}",
+        lines.len(),
+        entries.len(),
+        opts.subset,
+        opts.passes,
+        opts.concurrency
+    );
+
+    let mut total_errors = 0u64;
+    let mut total_hits = 0u64;
+    for pass in 1..=opts.passes.max(1) {
+        let started = Instant::now();
+        let tally = run_pass(addr, &lines, opts.concurrency);
+        let wall = started.elapsed();
+        let served = tally.latencies_ns.len();
+        let hit_rate = if served == 0 {
+            0.0
+        } else {
+            100.0 * tally.hits as f64 / served as f64
+        };
+        println!(
+            "pass {pass}: {served} ok in {:.3}s ({:.1} req/s) hit-rate {hit_rate:.1}% \
+             p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms errors {}",
+            wall.as_secs_f64(),
+            served as f64 / wall.as_secs_f64().max(1e-9),
+            percentile(&tally.latencies_ns, 0.50),
+            percentile(&tally.latencies_ns, 0.90),
+            percentile(&tally.latencies_ns, 0.99),
+            tally.errors,
+        );
+        total_errors += tally.errors;
+        total_hits += tally.hits;
+    }
+    println!("total cache hits: {total_hits}");
+    println!("total protocol errors: {total_errors}");
+
+    if opts.shutdown {
+        match Client::connect(addr, TIMEOUT)
+            .and_then(|mut c| c.request_raw("{\"kind\":\"shutdown\"}"))
+        {
+            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                println!("server draining");
+            }
+            Ok(response) => {
+                eprintln!("samm-load: shutdown refused: {response}");
+                total_errors += 1;
+            }
+            Err(e) => {
+                eprintln!("samm-load: shutdown failed: {e}");
+                total_errors += 1;
+            }
+        }
+    }
+
+    if total_errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! samm-trace <test> [--model <name>] [--condition <index>]
 //!                   [--dot <file>] [--json <file>] [--stats]
+//!                   [--jobs <n>] [--cache <file>]
 //! ```
 //!
 //! For every verdict of the named catalog entry (optionally narrowed to
@@ -17,9 +18,15 @@
 //! (closure-rule labels on the dashed Store Atomicity edges), `--json`
 //! writes all artifacts as a JSON array, and `--stats` prints the
 //! instrumented enumeration counters for each model.
+//!
+//! `--jobs <n>` sets [`EnumConfig::parallelism`] (default: the
+//! `SAMM_JOBS` environment variable, else the machine's core count).
+//! `--cache <file>` answers the `--stats` enumerations from a persisted
+//! content-addressed cache, writing it back on exit.
 
 use std::process::ExitCode;
 
+use samm_core::cache::{cached_enumerate, EnumCache};
 use samm_core::dot::{render, DotOptions};
 use samm_core::enumerate::{enumerate, EnumConfig};
 use samm_core::explain::{find_witness, refute, Goal, Refutation, RefuteOutcome};
@@ -32,12 +39,14 @@ struct Args {
     dot: Option<String>,
     json: Option<String>,
     stats: bool,
+    jobs: Option<usize>,
+    cache: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: samm-trace <test> [--model <name>] [--condition <index>] \
-         [--dot <file>] [--json <file>] [--stats]"
+         [--dot <file>] [--json <file>] [--stats] [--jobs <n>] [--cache <file>]"
     );
     eprintln!("tests: {}", catalog_names().join(", "));
     eprintln!(
@@ -70,6 +79,8 @@ fn parse_args(argv: &[String]) -> Option<Args> {
         dot: None,
         json: None,
         stats: false,
+        jobs: None,
+        cache: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -79,6 +90,8 @@ fn parse_args(argv: &[String]) -> Option<Args> {
             "--dot" => args.dot = Some(it.next()?.clone()),
             "--json" => args.json = Some(it.next()?.clone()),
             "--stats" => args.stats = true,
+            "--jobs" => args.jobs = Some(it.next()?.parse().ok().filter(|&n| n > 0)?),
+            "--cache" => args.cache = Some(it.next()?.clone()),
             other if args.test.is_empty() && !other.starts_with('-') => {
                 args.test = other.to_owned();
             }
@@ -112,10 +125,23 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let config = EnumConfig {
-        keep_executions: false,
-        ..EnumConfig::default()
-    };
+    let mut builder = EnumConfig::builder().keep_executions(false);
+    if let Some(jobs) = args.jobs {
+        builder = builder.parallelism(jobs);
+    }
+    let config = builder.build();
+    let cache = args.cache.as_ref().map(|path| {
+        let cache = EnumCache::new(1024);
+        if std::path::Path::new(path).exists() {
+            match cache.load_from(path) {
+                Ok((loaded, skipped)) => {
+                    println!("cache: loaded {loaded} entr(ies) from {path} ({skipped} skipped)");
+                }
+                Err(e) => eprintln!("cache: cannot load {path}: {e}"),
+            }
+        }
+        cache
+    });
     println!("{} — {}", entry.test.name, entry.description);
 
     let mut failures = 0usize;
@@ -225,15 +251,39 @@ fn main() -> ExitCode {
             if args.model.is_some_and(|m| m != model) {
                 continue;
             }
-            match enumerate(&entry.test.program, &model.policy(), &observed) {
-                Ok(result) => {
-                    println!("stats[{}] = {}", model.name(), result.stats.to_json());
+            let outcome = match &cache {
+                Some(cache) => cached_enumerate(
+                    cache,
+                    &entry.test.program,
+                    &model.policy(),
+                    &observed,
+                    enumerate,
+                )
+                .map(|(value, hit)| (value.stats, hit)),
+                None => enumerate(&entry.test.program, &model.policy(), &observed)
+                    .map(|result| (result.stats, false)),
+            };
+            match outcome {
+                Ok((stats, hit)) => {
+                    println!(
+                        "stats[{}]{} = {}",
+                        model.name(),
+                        if hit { " [cached]" } else { "" },
+                        stats.to_json()
+                    );
                 }
                 Err(e) => {
                     println!("stats[{}]: enumeration failed: {e}", model.name());
                     failures += 1;
                 }
             }
+        }
+    }
+
+    if let (Some(cache), Some(path)) = (&cache, &args.cache) {
+        match cache.save_to(path) {
+            Ok(saved) => println!("cache: saved {saved} entr(ies) to {path}"),
+            Err(e) => eprintln!("cache: cannot save {path}: {e}"),
         }
     }
 

@@ -4,22 +4,32 @@
 //! counterpart of the paper's hand-picked examples.
 //!
 //! Run with: `cargo run --release -p samm-bench --bin synthesis`
+//!
+//! The sweep shares one content-addressed enumeration cache across the
+//! chain pairs, so each middle model (TSO, PSO, Weak) is enumerated
+//! once per program instead of twice; the final line reports the hit
+//! rate. The worker count comes from the first CLI argument, else
+//! `SAMM_JOBS`, else the host's core count.
 
 use std::time::Instant;
 
-use samm_litmus::synthesis::{diff_models, diff_models_parallel, programs, SynthConfig};
+use samm_core::cache::EnumCache;
+use samm_core::enumerate::default_parallelism;
+use samm_litmus::synthesis::{
+    diff_models_cached, diff_models_parallel_cached, programs, SynthConfig,
+};
 use samm_litmus::ModelSel;
 
-/// Worker count for the parallel sweep: first CLI argument, else the
-/// host's available parallelism.
+/// Worker count for the parallel sweep: first CLI argument, else
+/// `SAMM_JOBS`, else the host's available parallelism.
 fn workers() -> usize {
     std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(default_parallelism)
 }
 
-fn sweep(config: &SynthConfig, label: &str) {
+fn sweep(config: &SynthConfig, label: &str, cache: &EnumCache) {
     println!(
         "\n=== family `{label}`: {} threads × {} ops, {} locations{} — {} programs ===",
         config.threads,
@@ -40,10 +50,11 @@ fn sweep(config: &SynthConfig, label: &str) {
     ];
     for (strong, weak) in pairs {
         let serial_start = Instant::now();
-        let summary = diff_models(config, &strong.policy(), &weak.policy());
+        let summary = diff_models_cached(config, &strong.policy(), &weak.policy(), cache);
         let serial_time = serial_start.elapsed();
         let par_start = Instant::now();
-        let par = diff_models_parallel(config, &strong.policy(), &weak.policy(), workers());
+        let par =
+            diff_models_parallel_cached(config, &strong.policy(), &weak.policy(), workers(), cache);
         let par_time = par_start.elapsed();
         assert_eq!(par.differing, summary.differing, "engines must agree");
         assert_eq!(par.first_exemplar, summary.first_exemplar);
@@ -75,13 +86,22 @@ fn sweep(config: &SynthConfig, label: &str) {
 
 fn main() {
     println!("samm synthesis — exhaustive small-world model comparison");
-    sweep(&SynthConfig::default(), "2x2");
+    let cache = EnumCache::new(65_536);
+    sweep(&SynthConfig::default(), "2x2", &cache);
     sweep(
         &SynthConfig {
             include_fences: true,
             ..SynthConfig::default()
         },
         "2x2+fences",
+        &cache,
     );
-    println!("\ninclusion (stronger ⊆ weaker) was asserted on every program of every family ✔");
+    let stats = cache.stats();
+    println!(
+        "\ncache: {:.1}% hit rate over {} lookups ({} entries)",
+        100.0 * stats.hit_rate(),
+        stats.hits + stats.misses,
+        stats.entries
+    );
+    println!("inclusion (stronger ⊆ weaker) was asserted on every program of every family ✔");
 }

@@ -43,6 +43,14 @@ pub struct EnumConfig {
     /// off every instrumentation site is a single null check (experiment
     /// E19 measures the overhead of both settings).
     pub observe: bool,
+    /// Per-request fork fuel: the enumeration aborts with
+    /// [`EnumError::Overbudget`] once it has attempted this many
+    /// `(load, candidate)` forks. `None` (the default) means unlimited.
+    /// Both the serial and the parallel engine honour the budget; the
+    /// parallel engine counts forks globally across workers, so the
+    /// abort point is scheduling-dependent but always within one batch
+    /// of the limit.
+    pub budget: Option<u64>,
 }
 
 impl Default for EnumConfig {
@@ -52,10 +60,117 @@ impl Default for EnumConfig {
             max_nodes_per_thread: 256,
             dedup: true,
             keep_executions: true,
-            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            parallelism: default_parallelism(),
             observe: false,
+            budget: None,
         }
     }
+}
+
+impl EnumConfig {
+    /// Starts building a configuration from the defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use samm_core::enumerate::EnumConfig;
+    /// let config = EnumConfig::builder()
+    ///     .observe(true)
+    ///     .parallelism(2)
+    ///     .budget(10_000)
+    ///     .build();
+    /// assert!(config.observe);
+    /// assert_eq!(config.parallelism, 2);
+    /// assert_eq!(config.budget, Some(10_000));
+    /// ```
+    pub fn builder() -> EnumConfigBuilder {
+        EnumConfigBuilder {
+            config: EnumConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EnumConfig`], created by [`EnumConfig::builder`].
+///
+/// Prefer the builder over struct-literal updates at call sites: new
+/// fields (like the fork budget) then flow through automatically instead
+/// of being silently dropped by `..Default::default()` spreads.
+#[derive(Debug, Clone)]
+pub struct EnumConfigBuilder {
+    config: EnumConfig,
+}
+
+impl EnumConfigBuilder {
+    /// Sets [`EnumConfig::max_behaviors`].
+    #[must_use]
+    pub fn max_behaviors(mut self, limit: usize) -> Self {
+        self.config.max_behaviors = limit;
+        self
+    }
+
+    /// Sets [`EnumConfig::max_nodes_per_thread`].
+    #[must_use]
+    pub fn max_nodes_per_thread(mut self, limit: u32) -> Self {
+        self.config.max_nodes_per_thread = limit;
+        self
+    }
+
+    /// Sets [`EnumConfig::dedup`].
+    #[must_use]
+    pub fn dedup(mut self, enabled: bool) -> Self {
+        self.config.dedup = enabled;
+        self
+    }
+
+    /// Sets [`EnumConfig::keep_executions`].
+    #[must_use]
+    pub fn keep_executions(mut self, enabled: bool) -> Self {
+        self.config.keep_executions = enabled;
+        self
+    }
+
+    /// Sets [`EnumConfig::parallelism`] (`0` means "auto").
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
+        self
+    }
+
+    /// Sets [`EnumConfig::observe`].
+    #[must_use]
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.config.observe = enabled;
+        self
+    }
+
+    /// Sets [`EnumConfig::budget`] (fork fuel); accepts `u64` or
+    /// `Option<u64>`.
+    #[must_use]
+    pub fn budget(mut self, fuel: impl Into<Option<u64>>) -> Self {
+        self.config.budget = fuel.into();
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> EnumConfig {
+        self.config
+    }
+}
+
+/// The default worker count: the `SAMM_JOBS` environment variable when it
+/// parses as a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+///
+/// CLI `--jobs N` flags override both by setting
+/// [`EnumConfig::parallelism`] explicitly; `SAMM_JOBS` is the fleet-wide
+/// fallback that lets CI and the service pin core usage without touching
+/// every invocation.
+pub fn default_parallelism() -> usize {
+    std::env::var("SAMM_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Counters describing an enumeration run.
@@ -208,6 +323,15 @@ impl Iterator for Behaviors {
                 }
                 for store in stores {
                     self.stats.forks += 1;
+                    if let Some(budget) = self.config.budget {
+                        if self.stats.forks as u64 > budget {
+                            self.finished = true;
+                            return Some(Err(EnumError::Overbudget {
+                                budget,
+                                forks: self.stats.forks as u64,
+                            }));
+                        }
+                    }
                     let mut fork = behavior.clone();
                     if self.trace.is_some() {
                         self.next_trace_id += 1;
@@ -724,6 +848,67 @@ mod tests {
         .unwrap();
         assert!(r.executions.is_empty());
         assert_eq!(r.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn fork_budget_is_enforced() {
+        let err = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig::builder().budget(3).build(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EnumError::Overbudget {
+                    budget: 3,
+                    forks: 4
+                }
+            ),
+            "expected Overbudget, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn sufficient_budget_changes_nothing() {
+        let unbudgeted = enumerate(&sb(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        let budgeted = enumerate(
+            &sb(),
+            &Policy::weak(),
+            &EnumConfig::builder()
+                .budget(unbudgeted.stats.forks as u64)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(budgeted.outcomes, unbudgeted.outcomes);
+        assert_eq!(budgeted.stats.forks, unbudgeted.stats.forks);
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let config = EnumConfig::builder()
+            .max_behaviors(17)
+            .max_nodes_per_thread(9)
+            .dedup(false)
+            .keep_executions(false)
+            .parallelism(3)
+            .observe(true)
+            .budget(Some(5))
+            .build();
+        let expected = EnumConfig {
+            max_behaviors: 17,
+            max_nodes_per_thread: 9,
+            dedup: false,
+            keep_executions: false,
+            parallelism: 3,
+            observe: true,
+            budget: Some(5),
+        };
+        assert_eq!(config, expected);
+        assert_eq!(EnumConfig::builder().build(), EnumConfig::default());
+        // budget() also accepts a bare integer.
+        assert_eq!(EnumConfig::builder().budget(7u64).build().budget, Some(7));
     }
 
     // --- Behaviors: the lazy stream --------------------------------------

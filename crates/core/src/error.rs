@@ -58,6 +58,18 @@ pub enum EnumError {
     /// An ordering cycle arose in a context where the model guarantees
     /// consistency (i.e. outside speculation/bypass forks).
     UnexpectedCycle(CycleError),
+    /// The enumeration spent its fork fuel
+    /// ([`EnumConfig::budget`](crate::enumerate::EnumConfig)) before
+    /// completing. Unlike the hard limits above, a budget is a
+    /// *per-request* resource allowance — the service layer maps this
+    /// variant to a structured `overbudget` protocol error instead of
+    /// letting one query monopolize a worker.
+    Overbudget {
+        /// The configured fuel (maximum forks).
+        budget: u64,
+        /// Forks attempted when the fuel ran out.
+        forks: u64,
+    },
 }
 
 impl fmt::Display for EnumError {
@@ -80,6 +92,10 @@ impl fmt::Display for EnumError {
                     "unexpected ordering cycle in a non-speculative model: {e}"
                 )
             }
+            EnumError::Overbudget { budget, forks } => write!(
+                f,
+                "enumeration exhausted its fork budget of {budget} after {forks} forks"
+            ),
         }
     }
 }
@@ -145,5 +161,11 @@ mod tests {
             .to_string()
             .contains("10"));
         assert!(EnumError::Stuck.to_string().contains("quiescent"));
+        let over = EnumError::Overbudget {
+            budget: 100,
+            forks: 101,
+        };
+        assert!(over.to_string().contains("budget of 100"));
+        assert!(over.to_string().contains("101"));
     }
 }

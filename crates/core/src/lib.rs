@@ -61,6 +61,8 @@
 //! | [`dot`] | Fig 2 | Graphviz rendering of execution graphs |
 //! | [`obs`] | — | enumeration counters, timings, and the event-trace sink |
 //! | [`explain`] | Fig 3–11 | witnesses for allowed outcomes, refutations for forbidden ones |
+//! | [`fingerprint`] | — | stable content hashes of enumeration queries |
+//! | [`cache`] | — | content-addressed memoization of enumeration answers |
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -68,6 +70,7 @@
 
 pub mod atomicity;
 pub mod bitset;
+pub mod cache;
 pub mod candidates;
 pub mod closure;
 pub mod dot;
@@ -75,6 +78,7 @@ pub mod enumerate;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod fingerprint;
 pub mod graph;
 pub mod ids;
 pub mod instr;
@@ -91,8 +95,10 @@ pub mod sync;
 pub(crate) mod testutil;
 
 pub use atomicity::Rule;
+pub use cache::{cached_enumerate, CacheStats, CachedResult, EnumCache};
 pub use enumerate::{
-    behaviors, behaviors_traced, enumerate, Behaviors, EnumConfig, EnumResult, EnumStats,
+    behaviors, behaviors_traced, default_parallelism, enumerate, Behaviors, EnumConfig,
+    EnumConfigBuilder, EnumResult, EnumStats,
 };
 pub use error::{CycleError, EnumError};
 pub use exec::Behavior;
@@ -100,6 +106,7 @@ pub use explain::{
     find_witness, refute, BlockedRefutation, Goal, Refutation, RefuteOutcome, RefuteReason,
     Serialization, Witness,
 };
+pub use fingerprint::{query_fingerprint, Fingerprint};
 pub use ids::{Addr, NodeId, Reg, ThreadId, Value};
 pub use instr::{BinOp, Instr, Operand, Program, ThreadProgram};
 pub use obs::{MemoryTrace, Obs, ObsStats, TraceEvent, TraceSink};

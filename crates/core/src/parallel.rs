@@ -26,7 +26,7 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::enumerate::{enumerate, EnumConfig, EnumResult, EnumStats};
@@ -85,6 +85,9 @@ struct Pool {
     pending: AtomicUsize,
     /// Global pop counter enforcing [`EnumConfig::max_behaviors`].
     explored: AtomicUsize,
+    /// Global fork counter enforcing [`EnumConfig::budget`] across
+    /// workers.
+    forks: AtomicU64,
     /// Raised on the first error; workers exit promptly.
     stop: AtomicBool,
     /// The first error raised, if any.
@@ -193,6 +196,16 @@ fn refine(
                 return;
             }
             local.stats.forks += 1;
+            let global_forks = pool.forks.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(budget) = config.budget {
+                if global_forks > budget {
+                    pool.fail(EnumError::Overbudget {
+                        budget,
+                        forks: global_forks,
+                    });
+                    return;
+                }
+            }
             let mut fork = behavior.clone();
             let step = fork
                 .resolve_load(load, store)
@@ -362,6 +375,7 @@ pub fn enumerate_parallel(
         deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(1),
         explored: AtomicUsize::new(0),
+        forks: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         error: Mutex::new(None),
         seen: ShardedSeen::new((workers * 8).next_power_of_two()),
@@ -611,6 +625,32 @@ mod tests {
                 limit: 4
             }
         ));
+    }
+
+    #[test]
+    fn fork_budget_propagates() {
+        let err = enumerate_parallel(
+            &sb_ring(),
+            &Policy::weak(),
+            &EnumConfig::builder().budget(3).parallelism(4).build(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EnumError::Overbudget { budget: 3, .. }),
+            "expected Overbudget, got {err:?}"
+        );
+        // A budget covering the whole run changes nothing.
+        let serial = enumerate(&sb_ring(), &Policy::weak(), &EnumConfig::default()).unwrap();
+        let ok = enumerate_parallel(
+            &sb_ring(),
+            &Policy::weak(),
+            &EnumConfig::builder()
+                .budget(serial.stats.forks as u64)
+                .parallelism(4)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(ok.outcomes, serial.outcomes);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use samm_core::cache::{cached_enumerate, EnumCache};
 use samm_core::enumerate::{enumerate, EnumConfig, EnumResult, EnumStats};
 use samm_core::error::EnumError;
 use samm_core::instr::Program;
@@ -49,6 +50,10 @@ pub struct VerdictRow {
     /// certificate instead of a fresh enumeration under the model: the
     /// outcome set (and the reported counts) are the SC run's.
     pub certified: bool,
+    /// `true` when the enumeration behind this row was answered from the
+    /// content-addressed [`EnumCache`] instead of running fresh (only
+    /// possible via [`run_entry_cached`] and friends).
+    pub cache_hit: bool,
     /// Statistics of the enumeration that answered this row. For
     /// [certified](VerdictRow::certified) rows these are the SC run's
     /// stats. With [`EnumConfig::observe`] set they carry an
@@ -87,6 +92,9 @@ impl fmt::Display for VerdictRow {
         )?;
         if self.certified {
             write!(f, " [certified SC-equivalent]")?;
+        }
+        if self.cache_hit {
+            write!(f, " [cached]")?;
         }
         Ok(())
     }
@@ -130,7 +138,40 @@ impl fmt::Display for EntryReport {
 ///
 /// Propagates enumeration failures.
 pub fn run_entry(entry: &CatalogEntry, config: &EnumConfig) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate, None)
+    run_entry_with(entry, config, enumerate, None, None)
+}
+
+/// Like [`run_entry`], but consulting (and filling) the
+/// content-addressed `cache` for every per-model enumeration. Rows
+/// answered from the cache are marked [`VerdictRow::cache_hit`]; their
+/// outcome sets and deterministic statistics are bit-identical to a
+/// fresh run's, but their `stats` never carry scheduling counters (see
+/// [`samm_core::cache`]).
+///
+/// # Errors
+///
+/// Propagates enumeration failures (which are never cached).
+pub fn run_entry_cached(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    cache: &EnumCache,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate, None, Some(cache))
+}
+
+/// The work-stealing variant of [`run_entry_cached`]. The cache is
+/// engine-transparent: an entry filled by the serial engine answers a
+/// parallel query and vice versa.
+///
+/// # Errors
+///
+/// Propagates enumeration failures (which are never cached).
+pub fn run_entry_cached_parallel(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    cache: &EnumCache,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate_parallel, None, Some(cache))
 }
 
 /// Like [`run_entry`], but consulting `certifier` before enumerating
@@ -149,7 +190,7 @@ pub fn run_entry_certified(
     config: &EnumConfig,
     certifier: Certifier<'_>,
 ) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate, Some(certifier))
+    run_entry_with(entry, config, enumerate, Some(certifier), None)
 }
 
 /// The work-stealing variant of [`run_entry_certified`].
@@ -162,7 +203,7 @@ pub fn run_entry_certified_parallel(
     config: &EnumConfig,
     certifier: Certifier<'_>,
 ) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate_parallel, Some(certifier))
+    run_entry_with(entry, config, enumerate_parallel, Some(certifier), None)
 }
 
 /// Like [`run_entry`], but enumerating on the work-stealing pool
@@ -178,7 +219,17 @@ pub fn run_entry_parallel(
     entry: &CatalogEntry,
     config: &EnumConfig,
 ) -> Result<EntryReport, EnumError> {
-    run_entry_with(entry, config, enumerate_parallel, None)
+    run_entry_with(entry, config, enumerate_parallel, None, None)
+}
+
+/// The per-model answer assembled by [`run_entry_with`].
+#[derive(Clone)]
+struct ModelAnswer {
+    outcomes: OutcomeSet,
+    executions: usize,
+    certified: bool,
+    cache_hit: bool,
+    stats: EnumStats,
 }
 
 fn run_entry_with(
@@ -186,49 +237,74 @@ fn run_entry_with(
     config: &EnumConfig,
     engine: Engine,
     certifier: Option<Certifier<'_>>,
+    cache: Option<&EnumCache>,
 ) -> Result<EntryReport, EnumError> {
-    let mut outcome_cache: BTreeMap<ModelSel, (OutcomeSet, usize, bool, EnumStats)> =
-        BTreeMap::new();
-    let mut sc_result: Option<(OutcomeSet, usize, EnumStats)> = None;
+    // One enumeration under `policy`, via the shared content-addressed
+    // cache when one was provided.
+    let run = |policy: &Policy| -> Result<(OutcomeSet, EnumStats, bool), EnumError> {
+        match cache {
+            Some(cache) => {
+                let (value, hit) =
+                    cached_enumerate(cache, &entry.test.program, policy, config, engine)?;
+                Ok((value.outcomes, value.stats, hit))
+            }
+            None => {
+                let result = engine(&entry.test.program, policy, config)?;
+                Ok((result.outcomes, result.stats, false))
+            }
+        }
+    };
+    let mut answers: BTreeMap<ModelSel, ModelAnswer> = BTreeMap::new();
+    let mut sc_result: Option<ModelAnswer> = None;
     for model in entry.models() {
         let policy = model.policy();
         let certified =
             model != ModelSel::Sc && certifier.is_some_and(|c| c(&entry.test.program, &policy));
         if certified {
             if sc_result.is_none() {
-                let sc = engine(&entry.test.program, &ModelSel::Sc.policy(), config)?;
-                sc_result = Some((sc.outcomes, sc.stats.distinct_executions, sc.stats));
+                let (outcomes, stats, cache_hit) = run(&ModelSel::Sc.policy())?;
+                sc_result = Some(ModelAnswer {
+                    executions: stats.distinct_executions,
+                    certified: false,
+                    outcomes,
+                    cache_hit,
+                    stats,
+                });
             }
-            let (outcomes, executions, stats) = sc_result.clone().expect("just computed");
-            outcome_cache.insert(model, (outcomes, executions, true, stats));
+            let mut answer = sc_result.clone().expect("just computed");
+            answer.certified = true;
+            answers.insert(model, answer);
         } else {
-            let result = engine(&entry.test.program, &policy, config)?;
-            let triple = (
-                result.outcomes,
-                result.stats.distinct_executions,
-                result.stats,
-            );
+            let (outcomes, stats, cache_hit) = run(&policy)?;
+            let answer = ModelAnswer {
+                executions: stats.distinct_executions,
+                certified: false,
+                outcomes,
+                cache_hit,
+                stats,
+            };
             if model == ModelSel::Sc {
-                sc_result = Some(triple.clone());
+                sc_result = Some(answer.clone());
             }
-            outcome_cache.insert(model, (triple.0, triple.1, false, triple.2));
+            answers.insert(model, answer);
         }
     }
     let rows = entry
         .verdicts
         .iter()
         .map(|v| {
-            let (outcomes, executions, certified, stats) = &outcome_cache[&v.model];
+            let answer = &answers[&v.model];
             let condition = &entry.test.conditions[v.condition];
             VerdictRow {
                 model: v.model,
                 condition: condition.text.clone(),
                 expected_allowed: v.allowed,
-                observed_allowed: condition.observable_in(outcomes),
-                outcomes: outcomes.len(),
-                executions: *executions,
-                certified: *certified,
-                stats: *stats,
+                observed_allowed: condition.observable_in(&answer.outcomes),
+                outcomes: answer.outcomes.len(),
+                executions: answer.executions,
+                certified: answer.certified,
+                cache_hit: answer.cache_hit,
+                stats: answer.stats,
             }
         })
         .collect();
@@ -311,6 +387,44 @@ mod tests {
                 assert_eq!(s.executions, p.executions);
             }
         }
+    }
+
+    #[test]
+    fn cached_harness_is_transparent() {
+        let cache = EnumCache::new(256);
+        let config = fast_config();
+        for entry in [catalog::sb(), catalog::iriw()] {
+            let fresh = run_entry(&entry, &config).unwrap();
+            let cold = run_entry_cached(&entry, &config, &cache).unwrap();
+            assert!(cold.rows.iter().all(|r| !r.cache_hit));
+            let warm = run_entry_cached(&entry, &config, &cache).unwrap();
+            assert!(warm.rows.iter().all(|r| r.cache_hit), "{warm}");
+            // Hits must be transparent — same verdicts and counts as an
+            // uncached run, whichever engine replays the query.
+            let warm_parallel = run_entry_cached_parallel(&entry, &config, &cache).unwrap();
+            for (f, rows) in fresh
+                .rows
+                .iter()
+                .zip(
+                    cold.rows
+                        .iter()
+                        .zip(warm.rows.iter().zip(&warm_parallel.rows)),
+                )
+                .map(|(f, (c, (w, p)))| (f, [c, w, p]))
+            {
+                for r in rows {
+                    assert_eq!(f.observed_allowed, r.observed_allowed);
+                    assert_eq!(f.outcomes, r.outcomes);
+                    assert_eq!(f.executions, r.executions);
+                    assert_eq!(f.stats.forks, r.stats.forks);
+                }
+            }
+        }
+        assert!(cache.stats().hits > 0);
+        let text = run_entry_cached(&catalog::sb(), &config, &cache)
+            .unwrap()
+            .to_string();
+        assert!(text.contains("[cached]"));
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! programs, SC and TSO differ on N" — the systematic counterpart of the
 //! paper's hand-picked examples.
 
+use samm_core::cache::{cached_enumerate, EnumCache};
+use samm_core::enumerate::{enumerate, EnumConfig};
 use samm_core::ids::{Reg, Value};
 use samm_core::instr::{Instr, Operand, Program, ThreadProgram};
+use samm_core::outcome::OutcomeSet;
+use samm_core::policy::Policy;
 
 /// Shape of the synthesized family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,15 +145,38 @@ pub struct DiffSummary {
 /// # Panics
 ///
 /// Panics if inclusion is violated (a model bug) or enumeration fails.
-pub fn diff_models(
+pub fn diff_models(config: &SynthConfig, stronger: &Policy, weaker: &Policy) -> DiffSummary {
+    diff_models_impl(config, stronger, weaker, None)
+}
+
+/// Like [`diff_models`], but routing every enumeration through the
+/// content-addressed `cache`. Sweeping a model *chain* (SC/TSO, TSO/PSO,
+/// PSO/Weak) with one shared cache enumerates each (program, model) pair
+/// once instead of once per pair containing the model — the middle
+/// models' enumerations become hits on their second appearance.
+///
+/// # Panics
+///
+/// As for [`diff_models`].
+pub fn diff_models_cached(
     config: &SynthConfig,
-    stronger: &samm_core::policy::Policy,
-    weaker: &samm_core::policy::Policy,
+    stronger: &Policy,
+    weaker: &Policy,
+    cache: &EnumCache,
+) -> DiffSummary {
+    diff_models_impl(config, stronger, weaker, Some(cache))
+}
+
+fn diff_models_impl(
+    config: &SynthConfig,
+    stronger: &Policy,
+    weaker: &Policy,
+    cache: Option<&EnumCache>,
 ) -> DiffSummary {
     let mut summary = DiffSummary::default();
     for (i, program) in programs(config).enumerate() {
         summary.programs += 1;
-        if program_differs(i, &program, stronger, weaker) {
+        if program_differs(i, &program, stronger, weaker, cache) {
             summary.differing += 1;
             if summary.first_exemplar.is_none() {
                 summary.first_exemplar = Some(i);
@@ -172,14 +199,41 @@ pub fn diff_models(
 /// Panics if inclusion is violated (a model bug) or enumeration fails.
 pub fn diff_models_parallel(
     config: &SynthConfig,
-    stronger: &samm_core::policy::Policy,
-    weaker: &samm_core::policy::Policy,
+    stronger: &Policy,
+    weaker: &Policy,
     workers: usize,
+) -> DiffSummary {
+    diff_models_parallel_impl(config, stronger, weaker, workers, None)
+}
+
+/// The cached variant of [`diff_models_parallel`]; the sharded
+/// [`EnumCache`] is shared by all sweep workers. See
+/// [`diff_models_cached`].
+///
+/// # Panics
+///
+/// As for [`diff_models`].
+pub fn diff_models_parallel_cached(
+    config: &SynthConfig,
+    stronger: &Policy,
+    weaker: &Policy,
+    workers: usize,
+    cache: &EnumCache,
+) -> DiffSummary {
+    diff_models_parallel_impl(config, stronger, weaker, workers, Some(cache))
+}
+
+fn diff_models_parallel_impl(
+    config: &SynthConfig,
+    stronger: &Policy,
+    weaker: &Policy,
+    workers: usize,
+    cache: Option<&EnumCache>,
 ) -> DiffSummary {
     let family: Vec<Program> = programs(config).collect();
     let workers = workers.max(1).min(family.len().max(1));
     if workers <= 1 {
-        return diff_models(config, stronger, weaker);
+        return diff_models_impl(config, stronger, weaker, cache);
     }
     let chunk_len = family.len().div_ceil(workers);
     let partials: Vec<DiffSummary> = std::thread::scope(|scope| {
@@ -193,7 +247,7 @@ pub fn diff_models_parallel(
                     for (offset, program) in chunk.iter().enumerate() {
                         let i = base + offset;
                         part.programs += 1;
-                        if program_differs(i, program, stronger, weaker) {
+                        if program_differs(i, program, stronger, weaker, cache) {
                             part.differing += 1;
                             if part.first_exemplar.is_none() {
                                 part.first_exemplar = Some(i);
@@ -225,20 +279,28 @@ pub fn diff_models_parallel(
 fn program_differs(
     index: usize,
     program: &Program,
-    stronger: &samm_core::policy::Policy,
-    weaker: &samm_core::policy::Policy,
+    stronger: &Policy,
+    weaker: &Policy,
+    cache: Option<&EnumCache>,
 ) -> bool {
-    use samm_core::enumerate::{enumerate, EnumConfig};
-    let enum_config = EnumConfig {
-        keep_executions: false,
-        ..EnumConfig::default()
+    let enum_config = EnumConfig::builder().keep_executions(false).build();
+    let outcomes = |policy: &Policy| -> OutcomeSet {
+        match cache {
+            Some(cache) => {
+                cached_enumerate(cache, program, policy, &enum_config, enumerate)
+                    .expect("enumeration succeeds")
+                    .0
+                    .outcomes
+            }
+            None => {
+                enumerate(program, policy, &enum_config)
+                    .expect("enumeration succeeds")
+                    .outcomes
+            }
+        }
     };
-    let a = enumerate(program, stronger, &enum_config)
-        .expect("enumeration succeeds")
-        .outcomes;
-    let b = enumerate(program, weaker, &enum_config)
-        .expect("enumeration succeeds")
-        .outcomes;
+    let a = outcomes(stronger);
+    let b = outcomes(weaker);
     assert!(
         a.is_subset(&b),
         "program #{index}: {} ⊆ {} violated",
@@ -302,6 +364,41 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn cached_sweep_matches_and_reuses_chain_middles() {
+        let cfg = SynthConfig {
+            threads: 2,
+            ops_per_thread: 1,
+            locations: 2,
+            include_fences: false,
+        };
+        let cache = EnumCache::new(4096);
+        let chain = [
+            (Policy::sequential_consistency(), Policy::tso()),
+            (Policy::tso(), Policy::pso()),
+            (Policy::pso(), Policy::weak()),
+        ];
+        for (strong, weak) in &chain {
+            let plain = diff_models(&cfg, strong, weak);
+            let cached = diff_models_cached(&cfg, strong, weak, &cache);
+            assert_eq!(plain.programs, cached.programs);
+            assert_eq!(plain.differing, cached.differing);
+            assert_eq!(plain.first_exemplar, cached.first_exemplar);
+        }
+        // TSO and PSO each appear in two pairs: their second sweep is
+        // pure hits, so the chain does 4×16 lookups with ≥2×16 hits.
+        let stats = cache.stats();
+        assert!(
+            stats.hits >= 2 * cfg.family_size() as u64,
+            "expected the chain middles to hit, got {stats:?}"
+        );
+        // Parallel cached sweep agrees too.
+        let par = diff_models_parallel_cached(&cfg, &Policy::tso(), &Policy::pso(), 4, &cache);
+        let serial = diff_models(&cfg, &Policy::tso(), &Policy::pso());
+        assert_eq!(par.differing, serial.differing);
+        assert_eq!(par.first_exemplar, serial.first_exemplar);
     }
 
     #[test]

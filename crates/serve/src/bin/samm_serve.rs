@@ -1,0 +1,87 @@
+//! `samm-serve` — host the litmus-query service.
+//!
+//! ```text
+//! samm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!            [--read-timeout-secs N] [--budget N] [--cache-shards N]
+//!            [--cache-capacity N] [--persist PATH]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound, then serves until a client
+//! sends `{"kind":"shutdown"}`; the process drains in-flight work,
+//! persists the cache when `--persist` was given, and exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use samm_serve::server::{self, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: samm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \x20                 [--read-timeout-secs N] [--budget N] [--cache-shards N]\n\
+         \x20                 [--cache-capacity N] [--persist PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("samm-serve: {flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => usage(),
+            },
+            "--workers" => config.workers = parse_num("--workers", args.next()),
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num("--queue-capacity", args.next());
+            }
+            "--read-timeout-secs" => {
+                config.read_timeout =
+                    Duration::from_secs(parse_num("--read-timeout-secs", args.next()));
+            }
+            "--budget" => config.budget = Some(parse_num("--budget", args.next())),
+            "--cache-shards" => config.cache_shards = parse_num("--cache-shards", args.next()),
+            "--cache-capacity" => {
+                config.cache_capacity = parse_num("--cache-capacity", args.next());
+            }
+            "--persist" => match args.next() {
+                Some(path) => config.persist_path = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("samm-serve: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let handle = match server::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("samm-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    match handle.join() {
+        Ok(()) => {
+            println!("drained; bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("samm-serve: shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

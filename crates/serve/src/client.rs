@@ -1,0 +1,109 @@
+//! A minimal blocking client for the service: one TCP connection,
+//! newline-delimited JSON request/response pairs.
+//!
+//! Used by the `samm-load` load generator and the integration tests;
+//! external clients can speak the protocol with nothing more than
+//! `nc`/`telnet` (see `docs/SERVICE.md`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A client-side failure: transport, framing, or JSON decoding.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server closed the connection (e.g. after an `overloaded`
+    /// rejection, once its error line was consumed).
+    Closed,
+    /// The response line was not valid JSON.
+    BadResponse(json::ParseError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Closed => f.write_str("server closed the connection"),
+            ClientError::BadResponse(e) => write!(f, "unparseable response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects with a timeout, applying the same bound to reads and
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        // One-line request/response framing stalls badly under Nagle +
+        // delayed ACK (~40 ms per round trip); disable batching.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, closed connections, and unparseable
+    /// responses. A structured `{"ok":false,...}` response is NOT an
+    /// error at this layer — inspect the returned object.
+    pub fn request_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a [`Json`] request object.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request_raw`].
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        self.request_raw(&request.to_string())
+    }
+
+    /// Reads one response line without sending anything — used to
+    /// consume unsolicited server lines such as the `overloaded`
+    /// rejection a full server writes before closing the connection.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::request_raw`].
+    pub fn read_response(&mut self) -> Result<Json, ClientError> {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        json::parse(response.trim()).map_err(ClientError::BadResponse)
+    }
+}

@@ -1,0 +1,563 @@
+//! Request execution: turns a parsed [`Request`] into a response
+//! [`Json`] against shared server state.
+//!
+//! Every enumeration-backed request is answered through the
+//! content-addressed [`EnumCache`], so repeated queries for the same
+//! (program, policy, config) fingerprint cost a hash lookup instead of a
+//! fresh enumeration. Witness/refutation requests run fresh — their
+//! artifacts are path-dependent and are not cached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use samm_core::cache::{cached_enumerate, EnumCache};
+use samm_core::enumerate::{enumerate, EnumConfig};
+use samm_core::error::EnumError;
+use samm_core::explain::{find_witness, refute, Goal, Refutation, RefuteOutcome};
+use samm_core::outcome::{Outcome, OutcomeSet};
+use samm_core::parallel::enumerate_parallel;
+use samm_litmus::catalog::{self, CatalogEntry, ModelSel};
+use samm_litmus::expect::{run_entry_cached, run_entry_cached_parallel, EntryReport};
+
+use crate::json::Json;
+use crate::protocol::{EngineSel, ErrorKind, Request, ServiceError};
+
+/// Monotonic counters the `metrics` request reports.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests parsed and executed (including ones that failed).
+    pub requests: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors: AtomicU64,
+    /// Connections rejected because the queue was full.
+    pub overloaded: AtomicU64,
+}
+
+/// State shared by every worker: the enumeration cache, the default
+/// fork budget, and the metrics counters.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The content-addressed enumeration cache.
+    pub cache: EnumCache,
+    /// Fork budget applied to requests that do not carry their own.
+    pub default_budget: Option<u64>,
+    /// Metrics counters.
+    pub counters: Counters,
+}
+
+impl ServerState {
+    /// Builds state with a cache of the given geometry.
+    pub fn new(cache: EnumCache, default_budget: Option<u64>) -> Self {
+        ServerState {
+            cache,
+            default_budget,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The enumeration configuration for one request: server defaults,
+    /// request budget override, executions never kept (only outcome
+    /// sets travel over the wire).
+    fn config(&self, budget: Option<u64>) -> EnumConfig {
+        EnumConfig::builder()
+            .keep_executions(false)
+            .budget(budget.or(self.default_budget))
+            .build()
+    }
+}
+
+/// Executes one request. Never panics on bad input: failures come back
+/// as `{"ok":false,"error":{...}}` objects. `Shutdown` is answered with
+/// a plain ok — the connection loop, not this function, performs the
+/// drain.
+pub fn handle(state: &ServerState, request: &Request) -> Json {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let result = match request {
+        Request::Enumerate {
+            test,
+            model,
+            budget,
+            engine,
+        } => enumerate_response(state, test, model, *budget, *engine),
+        Request::Verdict {
+            test,
+            budget,
+            engine,
+        } => verdict_response(state, test, *budget, *engine),
+        Request::Witness {
+            test,
+            model,
+            condition,
+            budget,
+        } => witness_response(state, test, model, *condition, *budget),
+        Request::Refutation {
+            test,
+            model,
+            condition,
+            budget,
+        } => refutation_response(state, test, model, *condition, *budget),
+        Request::Certify { test, model } => certify_response(test, model),
+        Request::Metrics => Ok(metrics_response(state)),
+        Request::Shutdown => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("shutdown")),
+        ])),
+    };
+    match result {
+        Ok(response) => response,
+        Err(err) => error_response(state, &err),
+    }
+}
+
+/// Renders `err` as a response, counting it.
+pub fn error_response(state: &ServerState, err: &ServiceError) -> Json {
+    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    err.to_response()
+}
+
+fn find_entry(name: &str) -> Result<CatalogEntry, ServiceError> {
+    catalog::all()
+        .into_iter()
+        .find(|e| e.test.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ServiceError::new(
+                ErrorKind::UnknownTest,
+                format!("no catalog entry named '{name}'"),
+            )
+        })
+}
+
+fn find_model(name: &str) -> Result<ModelSel, ServiceError> {
+    ModelSel::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> = ModelSel::ALL.iter().map(|m| m.name()).collect();
+            ServiceError::new(
+                ErrorKind::UnknownModel,
+                format!("no model named '{name}' (known: {})", known.join(", ")),
+            )
+        })
+}
+
+fn enum_error(err: EnumError) -> ServiceError {
+    match err {
+        EnumError::Overbudget { budget, forks } => ServiceError::new(
+            ErrorKind::Overbudget,
+            format!("fork budget {budget} exhausted after {forks} forks"),
+        ),
+        other => ServiceError::new(ErrorKind::EnumFailed, other.to_string()),
+    }
+}
+
+fn condition_goal(entry: &CatalogEntry, condition: usize) -> Result<(Goal, String), ServiceError> {
+    let cond = entry.test.conditions.get(condition).ok_or_else(|| {
+        ServiceError::new(
+            ErrorKind::Malformed,
+            format!(
+                "test '{}' has {} condition(s); index {condition} is out of range",
+                entry.test.name,
+                entry.test.conditions.len()
+            ),
+        )
+    })?;
+    Ok((Goal::new(cond.clauses.clone()), cond.text.clone()))
+}
+
+fn outcomes_json(outcomes: &OutcomeSet) -> Json {
+    let render = |o: &Outcome| {
+        Json::Arr(
+            (0..o.thread_count())
+                .map(|t| {
+                    Json::Arr(
+                        o.thread_regs(t)
+                            .iter()
+                            .map(|v| Json::num(v.raw() as f64))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    };
+    Json::Arr(outcomes.iter().map(render).collect())
+}
+
+fn enumerate_response(
+    state: &ServerState,
+    test: &str,
+    model: &str,
+    budget: Option<u64>,
+    engine: EngineSel,
+) -> Result<Json, ServiceError> {
+    let entry = find_entry(test)?;
+    let sel = find_model(model)?;
+    let policy = sel.policy();
+    let config = state.config(budget);
+    let (value, hit) = match engine {
+        EngineSel::Serial => cached_enumerate(
+            &state.cache,
+            &entry.test.program,
+            &policy,
+            &config,
+            enumerate,
+        ),
+        EngineSel::Parallel => cached_enumerate(
+            &state.cache,
+            &entry.test.program,
+            &policy,
+            &config,
+            enumerate_parallel,
+        ),
+    }
+    .map_err(enum_error)?;
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("enumerate")),
+        ("test", Json::str(entry.test.name.clone())),
+        ("model", Json::str(sel.name())),
+        ("engine", Json::str(engine.name())),
+        ("cache_hit", Json::Bool(hit)),
+        ("outcome_count", Json::num(value.outcomes.len() as f64)),
+        ("executions", Json::num(value.distinct_executions() as f64)),
+        ("outcomes", outcomes_json(&value.outcomes)),
+        ("stats", Json::Raw(value.stats.to_json())),
+    ]))
+}
+
+fn report_json(report: &EntryReport) -> Json {
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            Json::obj([
+                ("model", Json::str(row.model.name())),
+                ("condition", Json::str(row.condition.clone())),
+                ("expected_allowed", Json::Bool(row.expected_allowed)),
+                ("observed_allowed", Json::Bool(row.observed_allowed)),
+                ("pass", Json::Bool(row.pass())),
+                ("outcomes", Json::num(row.outcomes as f64)),
+                ("executions", Json::num(row.executions as f64)),
+                ("certified", Json::Bool(row.certified)),
+                ("cache_hit", Json::Bool(row.cache_hit)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("name", Json::str(report.name.clone())),
+        ("all_pass", Json::Bool(report.all_pass())),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+fn verdict_response(
+    state: &ServerState,
+    test: &str,
+    budget: Option<u64>,
+    engine: EngineSel,
+) -> Result<Json, ServiceError> {
+    let entry = find_entry(test)?;
+    let config = state.config(budget);
+    let report = match engine {
+        EngineSel::Serial => run_entry_cached(&entry, &config, &state.cache),
+        EngineSel::Parallel => run_entry_cached_parallel(&entry, &config, &state.cache),
+    }
+    .map_err(enum_error)?;
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("verdict")),
+        ("report", report_json(&report)),
+    ]))
+}
+
+fn witness_response(
+    state: &ServerState,
+    test: &str,
+    model: &str,
+    condition: usize,
+    budget: Option<u64>,
+) -> Result<Json, ServiceError> {
+    let entry = find_entry(test)?;
+    let policy = find_model(model)?.policy();
+    let (goal, text) = condition_goal(&entry, condition)?;
+    let config = state.config(budget);
+    let witness = find_witness(&entry.test.program, &policy, &config, &goal).map_err(enum_error)?;
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("witness")),
+        ("condition", Json::str(text)),
+        ("found", Json::Bool(witness.is_some())),
+        (
+            "witness",
+            witness.map_or(Json::Null, |w| Json::Raw(w.to_json())),
+        ),
+    ]))
+}
+
+fn refutation_response(
+    state: &ServerState,
+    test: &str,
+    model: &str,
+    condition: usize,
+    budget: Option<u64>,
+) -> Result<Json, ServiceError> {
+    let entry = find_entry(test)?;
+    let policy = find_model(model)?.policy();
+    let (goal, text) = condition_goal(&entry, condition)?;
+    let config = state.config(budget);
+    let outcome = refute(&entry.test.program, &policy, &config, &goal).map_err(enum_error)?;
+    let (refuted, proof, witness) = match outcome {
+        RefuteOutcome::Observable(w) => (false, Json::Null, Json::Raw(w.to_json())),
+        RefuteOutcome::Refuted(Refutation::Blocked(b)) => (
+            true,
+            Json::obj([
+                ("kind", Json::str("blocked")),
+                ("blocked", Json::Raw(b.to_json())),
+            ]),
+            Json::Null,
+        ),
+        RefuteOutcome::Refuted(Refutation::Exhaustive { explored, distinct }) => (
+            true,
+            Json::obj([
+                ("kind", Json::str("exhaustive")),
+                ("explored", Json::num(explored as f64)),
+                ("distinct", Json::num(distinct as f64)),
+            ]),
+            Json::Null,
+        ),
+    };
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("refutation")),
+        ("condition", Json::str(text)),
+        ("refuted", Json::Bool(refuted)),
+        ("proof", proof),
+        ("witness", witness),
+    ]))
+}
+
+fn certify_response(test: &str, model: &str) -> Result<Json, ServiceError> {
+    let entry = find_entry(test)?;
+    let policy = find_model(model)?.policy();
+    let certificate = samm_analyze::certify(&entry.test.program, &policy);
+    let checked = certificate
+        .as_ref()
+        .is_some_and(|c| c.check(&entry.test.program, &policy));
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("certify")),
+        ("certified", Json::Bool(certificate.is_some())),
+        ("checked", Json::Bool(checked)),
+    ]))
+}
+
+fn metrics_response(state: &ServerState) -> Json {
+    let counters = &state.counters;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("metrics")),
+        (
+            "requests",
+            Json::num(counters.requests.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "errors",
+            Json::num(counters.errors.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "overloaded",
+            Json::num(counters.overloaded.load(Ordering::Relaxed) as f64),
+        ),
+        ("cache", Json::Raw(state.cache.stats().to_json())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        ServerState::new(EnumCache::new(64), None)
+    }
+
+    #[test]
+    fn enumerate_hits_cache_on_replay() {
+        let state = state();
+        let req = Request::Enumerate {
+            test: "SB".into(),
+            model: "TSO".into(),
+            budget: None,
+            engine: EngineSel::Serial,
+        };
+        let cold = handle(&state, &req);
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+        // The replay — even on the other engine — is a cache hit with
+        // the identical outcome set.
+        let warm = handle(
+            &state,
+            &Request::Enumerate {
+                test: "sb".into(),
+                model: "tso".into(),
+                budget: None,
+                engine: EngineSel::Parallel,
+            },
+        );
+        assert_eq!(warm.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("outcomes"), warm.get("outcomes"));
+        assert_eq!(cold.get("outcome_count"), warm.get("outcome_count"));
+    }
+
+    #[test]
+    fn unknown_names_are_classified() {
+        let state = state();
+        let err = handle(
+            &state,
+            &Request::Enumerate {
+                test: "NoSuchTest".into(),
+                model: "TSO".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("unknown-test")
+        );
+        let err = handle(
+            &state,
+            &Request::Certify {
+                test: "SB".into(),
+                model: "NoSuchModel".into(),
+            },
+        );
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("unknown-model")
+        );
+        assert_eq!(state.counters.errors.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn overbudget_is_a_structured_error() {
+        let state = state();
+        let err = handle(
+            &state,
+            &Request::Enumerate {
+                test: "IRIW".into(),
+                model: "Weak".into(),
+                budget: Some(3),
+                engine: EngineSel::Serial,
+            },
+        );
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overbudget")
+        );
+        // Errors are never cached: a retry with enough budget succeeds.
+        let ok = handle(
+            &state,
+            &Request::Enumerate {
+                test: "IRIW".into(),
+                model: "Weak".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn verdict_report_passes() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &Request::Verdict {
+                test: "SB".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        let report = resp.get("report").unwrap();
+        assert_eq!(report.get("all_pass").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            report.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn witness_and_refutation_agree_with_verdicts() {
+        let state = state();
+        // SB 0/0 is observable under TSO…
+        let w = handle(
+            &state,
+            &Request::Witness {
+                test: "SB".into(),
+                model: "TSO".into(),
+                condition: 0,
+                budget: None,
+            },
+        );
+        assert_eq!(w.get("found").and_then(Json::as_bool), Some(true));
+        assert!(w.get("witness").is_some_and(|j| *j != Json::Null));
+        // …and refuted under SC.
+        let r = handle(
+            &state,
+            &Request::Refutation {
+                test: "SB".into(),
+                model: "SC".into(),
+                condition: 0,
+                budget: None,
+            },
+        );
+        assert_eq!(r.get("refuted").and_then(Json::as_bool), Some(true));
+        assert!(r.get("proof").is_some_and(|j| *j != Json::Null));
+        // Both responses are valid JSON end to end (the Raw splices
+        // parse back).
+        crate::json::parse(&w.to_string()).unwrap();
+        crate::json::parse(&r.to_string()).unwrap();
+    }
+
+    #[test]
+    fn certify_finds_drf_programs() {
+        let state = state();
+        let resp = handle(
+            &state,
+            &Request::Certify {
+                test: "MP+fences".into(),
+                model: "TSO".into(),
+            },
+        );
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        if resp.get("certified") == Some(&Json::Bool(true)) {
+            assert_eq!(resp.get("checked").and_then(Json::as_bool), Some(true));
+        }
+    }
+
+    #[test]
+    fn metrics_reports_counters_and_cache() {
+        let state = state();
+        handle(
+            &state,
+            &Request::Enumerate {
+                test: "SB".into(),
+                model: "SC".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        let m = handle(&state, &Request::Metrics);
+        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.get("errors").and_then(Json::as_u64), Some(0));
+        let parsed = crate::json::parse(&m.to_string()).unwrap();
+        assert!(parsed.get("cache").is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! # samm-serve — concurrent litmus-query service
+//!
+//! A multithreaded TCP service over the enumeration framework: clients
+//! send newline-delimited JSON requests (`enumerate`, `verdict`,
+//! `witness`, `refutation`, `certify`, `metrics`, `shutdown`) and every
+//! enumeration-backed answer flows through the content-addressed
+//! [`samm_core::cache::EnumCache`], so a query repeated by any client —
+//! or replayed under the other engine — costs a hash lookup.
+//!
+//! The implementation is std-only (no async runtime, no serde): a
+//! hand-rolled JSON codec ([`json`]), a typed wire protocol
+//! ([`protocol`]), a request executor ([`handler`]), a bounded-queue
+//! threaded server with graceful drain ([`server`]), and a blocking
+//! [`client`]. `docs/SERVICE.md` documents the wire format; the
+//! `samm-serve` binary hosts the server and `samm-load` (in
+//! `samm-bench`) replays the catalog against it.
+//!
+//! ## Example: in-process round trip
+//!
+//! ```
+//! use std::time::Duration;
+//! use samm_serve::{client::Client, json::Json, server};
+//!
+//! let handle = server::start(server::ServerConfig {
+//!     workers: 2,
+//!     ..server::ServerConfig::default()
+//! }).unwrap();
+//! let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+//! let reply = client
+//!     .request_raw(r#"{"kind":"enumerate","test":"SB","model":"TSO"}"#)
+//!     .unwrap();
+//! assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod handler;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use handler::ServerState;
+pub use json::Json;
+pub use protocol::{parse_request, EngineSel, ErrorKind, Request, ServiceError};
+pub use server::{start, ServerConfig, ServerHandle};

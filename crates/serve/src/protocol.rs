@@ -1,0 +1,367 @@
+//! Wire protocol of the litmus-query service.
+//!
+//! The transport is newline-delimited JSON over TCP: each request is one
+//! JSON object on one line, and each response is one JSON object on one
+//! line. `docs/SERVICE.md` documents the schemas; this module holds the
+//! typed [`Request`] parsed from a line and the [`ServiceError`] shape
+//! every failure is reported in.
+
+use std::fmt;
+
+use crate::json::{self, Json};
+
+/// How a request asks the enumeration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineSel {
+    /// The serial depth-first engine (`samm_core::enumerate`).
+    #[default]
+    Serial,
+    /// The work-stealing pool (`samm_core::parallel`).
+    Parallel,
+}
+
+impl EngineSel {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineSel::Serial => "serial",
+            EngineSel::Parallel => "parallel",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enumerate one catalog test under one model; answered from the
+    /// content-addressed cache when possible.
+    Enumerate {
+        /// Catalog test name (case-insensitive).
+        test: String,
+        /// Model name (case-insensitive), e.g. `TSO`.
+        model: String,
+        /// Per-request fork budget override.
+        budget: Option<u64>,
+        /// Engine selection.
+        engine: EngineSel,
+    },
+    /// Run the conformance harness on one catalog entry: every verdict
+    /// row under every model the entry mentions.
+    Verdict {
+        /// Catalog test name.
+        test: String,
+        /// Per-request fork budget override.
+        budget: Option<u64>,
+        /// Engine selection.
+        engine: EngineSel,
+    },
+    /// Find a replayable witness for one condition of a catalog test.
+    Witness {
+        /// Catalog test name.
+        test: String,
+        /// Model name.
+        model: String,
+        /// Index into the test's conditions (default 0).
+        condition: usize,
+        /// Per-request fork budget override.
+        budget: Option<u64>,
+    },
+    /// Prove one condition unobservable (or produce its witness).
+    Refutation {
+        /// Catalog test name.
+        test: String,
+        /// Model name.
+        model: String,
+        /// Index into the test's conditions (default 0).
+        condition: usize,
+        /// Per-request fork budget override.
+        budget: Option<u64>,
+    },
+    /// Run the static DRF/total-order certifier on a test/model pair.
+    Certify {
+        /// Catalog test name.
+        test: String,
+        /// Model name.
+        model: String,
+    },
+    /// Report server counters and cache statistics.
+    Metrics,
+    /// Ask the server to stop accepting connections, drain in-flight
+    /// work, and exit.
+    Shutdown,
+}
+
+/// Machine-readable failure classes; the wire `error.kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON, or lacked required fields.
+    Malformed,
+    /// The `test` names no catalog entry.
+    UnknownTest,
+    /// The `model` names no policy.
+    UnknownModel,
+    /// The `kind` names no request type.
+    UnknownKind,
+    /// Enumeration exceeded the effective fork budget.
+    Overbudget,
+    /// The connection queue was full; retry after the hinted delay.
+    Overloaded,
+    /// Enumeration failed for a reason other than budget exhaustion.
+    EnumFailed,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::UnknownTest => "unknown-test",
+            ErrorKind::UnknownModel => "unknown-model",
+            ErrorKind::UnknownKind => "unknown-kind",
+            ErrorKind::Overbudget => "overbudget",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::EnumFailed => "enum-error",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured service failure, rendered as
+/// `{"ok":false,"error":{"kind":...,"message":...}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// Backpressure hint: how long the client should wait before
+    /// retrying. Only set with [`ErrorKind::Overloaded`].
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServiceError {
+    /// Builds an error with no retry hint.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ServiceError {
+            kind,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Renders the full error response object.
+    pub fn to_response(&self) -> Json {
+        let mut error = vec![
+            ("kind", Json::str(self.kind.as_str())),
+            ("message", Json::str(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            error.push(("retry_after_ms", Json::num(ms as f64)));
+        }
+        Json::obj([("ok", Json::Bool(false)), ("error", Json::obj(error))])
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+fn required_str(obj: &Json, key: &str) -> Result<String, ServiceError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| {
+            ServiceError::new(
+                ErrorKind::Malformed,
+                format!("missing or non-string field '{key}'"),
+            )
+        })
+}
+
+fn optional_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServiceError::new(
+                ErrorKind::Malformed,
+                format!("field '{key}' must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn optional_engine(obj: &Json) -> Result<EngineSel, ServiceError> {
+    match obj.get("engine") {
+        None | Some(Json::Null) => Ok(EngineSel::Serial),
+        Some(v) => match v.as_str() {
+            Some("serial") => Ok(EngineSel::Serial),
+            Some("parallel") => Ok(EngineSel::Parallel),
+            _ => Err(ServiceError::new(
+                ErrorKind::Malformed,
+                "field 'engine' must be \"serial\" or \"parallel\"",
+            )),
+        },
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ErrorKind::Malformed`] for syntax or schema problems,
+/// [`ErrorKind::UnknownKind`] for an unrecognised `kind`.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let value = json::parse(line)
+        .map_err(|e| ServiceError::new(ErrorKind::Malformed, format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(ServiceError::new(
+            ErrorKind::Malformed,
+            "request must be a JSON object",
+        ));
+    }
+    let kind = required_str(&value, "kind")?;
+    match kind.as_str() {
+        "enumerate" => Ok(Request::Enumerate {
+            test: required_str(&value, "test")?,
+            model: required_str(&value, "model")?,
+            budget: optional_u64(&value, "budget")?,
+            engine: optional_engine(&value)?,
+        }),
+        "verdict" => Ok(Request::Verdict {
+            test: required_str(&value, "test")?,
+            budget: optional_u64(&value, "budget")?,
+            engine: optional_engine(&value)?,
+        }),
+        "witness" | "refutation" => {
+            let test = required_str(&value, "test")?;
+            let model = required_str(&value, "model")?;
+            let condition = optional_u64(&value, "condition")?.unwrap_or(0) as usize;
+            let budget = optional_u64(&value, "budget")?;
+            Ok(if kind == "witness" {
+                Request::Witness {
+                    test,
+                    model,
+                    condition,
+                    budget,
+                }
+            } else {
+                Request::Refutation {
+                    test,
+                    model,
+                    condition,
+                    budget,
+                }
+            })
+        }
+        "certify" => Ok(Request::Certify {
+            test: required_str(&value, "test")?,
+            model: required_str(&value, "model")?,
+        }),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServiceError::new(
+            ErrorKind::UnknownKind,
+            format!("unknown request kind '{other}'"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        assert_eq!(
+            parse_request(r#"{"kind":"enumerate","test":"SB","model":"TSO"}"#).unwrap(),
+            Request::Enumerate {
+                test: "SB".into(),
+                model: "TSO".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"verdict","test":"IRIW","budget":5000,"engine":"parallel"}"#)
+                .unwrap(),
+            Request::Verdict {
+                test: "IRIW".into(),
+                budget: Some(5000),
+                engine: EngineSel::Parallel,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"witness","test":"SB","model":"TSO","condition":1}"#).unwrap(),
+            Request::Witness {
+                test: "SB".into(),
+                model: "TSO".into(),
+                condition: 1,
+                budget: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"refutation","test":"SB","model":"SC"}"#).unwrap(),
+            Request::Refutation {
+                test: "SB".into(),
+                model: "SC".into(),
+                condition: 0,
+                budget: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"certify","test":"MP+fences","model":"Weak"}"#).unwrap(),
+            Request::Certify {
+                test: "MP+fences".into(),
+                model: "Weak".into(),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_classified() {
+        for (line, kind) in [
+            ("not json", ErrorKind::Malformed),
+            ("[1,2]", ErrorKind::Malformed),
+            ("{}", ErrorKind::Malformed),
+            (r#"{"kind":"enumerate"}"#, ErrorKind::Malformed),
+            (
+                r#"{"kind":"enumerate","test":"SB","model":"TSO","budget":-1}"#,
+                ErrorKind::Malformed,
+            ),
+            (
+                r#"{"kind":"enumerate","test":"SB","model":"TSO","engine":"gpu"}"#,
+                ErrorKind::Malformed,
+            ),
+            (r#"{"kind":"frobnicate"}"#, ErrorKind::UnknownKind),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, kind, "{line}");
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let mut err = ServiceError::new(ErrorKind::Overloaded, "queue full");
+        err.retry_after_ms = Some(50);
+        let rendered = err.to_response().to_string();
+        assert_eq!(
+            rendered,
+            "{\"error\":{\"kind\":\"overloaded\",\"message\":\"queue full\",\
+             \"retry_after_ms\":50},\"ok\":false}"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The threaded TCP server: bounded accept queue, worker pool, and
+//! graceful drain.
+//!
+//! Architecture (std-only — no async runtime is vendored):
+//!
+//! ```text
+//! acceptor thread ──► bounded VecDeque<TcpStream> ──► N worker threads
+//!        │                    (Mutex + Condvar)             │
+//!        │ queue full: reply "overloaded" + close           │ newline-delimited
+//!        ▼                                                  ▼ JSON per connection
+//!   TcpListener                                      handler::handle()
+//! ```
+//!
+//! A worker owns one connection at a time and serves requests on it
+//! until EOF, a read timeout, or a `shutdown` request. Shutdown raises
+//! a flag, wakes every worker, and unblocks the acceptor with a
+//! loopback self-connection; workers drain the queue before exiting, so
+//! accepted connections are always answered.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use samm_core::cache::EnumCache;
+
+use crate::handler::{self, ServerState};
+use crate::json::Json;
+use crate::protocol::{parse_request, ErrorKind, Request, ServiceError};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS choose.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new ones are
+    /// rejected with an `overloaded` error.
+    pub queue_capacity: usize,
+    /// Idle-connection read timeout; an idle connection is closed when
+    /// it elapses.
+    pub read_timeout: Duration,
+    /// Default per-request fork budget (requests may override).
+    pub budget: Option<u64>,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Cache capacity per shard.
+    pub cache_capacity: usize,
+    /// When set, the cache is loaded from this file on start and saved
+    /// back on drain.
+    pub persist_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            budget: None,
+            cache_shards: 16,
+            cache_capacity: 256,
+            persist_path: None,
+        }
+    }
+}
+
+/// State shared between the acceptor and the workers.
+struct Shared {
+    state: ServerState,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+    read_timeout: Duration,
+    retry_after_ms: u64,
+}
+
+impl Shared {
+    /// Raises the shutdown flag and wakes everyone blocked on the queue.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The lock round-trip orders the flag store against workers
+        // about to sleep on the condvar.
+        drop(self.queue.lock().expect("queue poisoned"));
+        self.available.notify_all();
+    }
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`ServerHandle::shutdown`] or send a `shutdown` request and
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    persist_path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-chosen port when the config asked
+    /// for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful drain (as if a `shutdown` request arrived)
+    /// and waits for every thread to exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache persistence failures; thread panics surface as
+    /// [`std::io::ErrorKind::Other`].
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.shared.begin_shutdown();
+        wake_acceptor(self.addr);
+        self.join_inner()
+    }
+
+    /// Waits for the server to drain after an external `shutdown`
+    /// request, then persists the cache when configured.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServerHandle::shutdown`].
+    pub fn join(mut self) -> std::io::Result<()> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> std::io::Result<()> {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor
+                .join()
+                .map_err(|_| std::io::Error::other("acceptor thread panicked"))?;
+        }
+        for worker in self.workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| std::io::Error::other("worker thread panicked"))?;
+        }
+        if let Some(path) = &self.persist_path {
+            self.shared.state.cache.save_to(path)?;
+        }
+        Ok(())
+    }
+}
+
+/// Unblocks a `TcpListener::accept` by completing one loopback
+/// connection; the acceptor rechecks the shutdown flag afterwards.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+/// Binds the listener and spawns the acceptor plus worker threads.
+///
+/// # Errors
+///
+/// Propagates bind failures. A configured persistence file that does
+/// not exist yet is not an error (first run).
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = EnumCache::with_shards(config.cache_shards.max(1), config.cache_capacity.max(1));
+    if let Some(path) = &config.persist_path {
+        if path.exists() {
+            cache.load_from(path)?;
+        }
+    }
+    let shared = Arc::new(Shared {
+        state: ServerState::new(cache, config.budget),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        queue_capacity: config.queue_capacity.max(1),
+        read_timeout: config.read_timeout,
+        retry_after_ms: 50,
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("samm-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, addr))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("samm-serve-acceptor".to_owned())
+            .spawn(move || acceptor_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+        persist_path: config.persist_path,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); drop it and
+            // stop accepting. Workers drain whatever is queued.
+            return;
+        }
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.queue_capacity {
+            drop(queue);
+            shared
+                .state
+                .counters
+                .overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            reject_overloaded(stream, shared.retry_after_ms);
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+}
+
+/// Answers an over-capacity connection with a structured `overloaded`
+/// error (including the retry hint) and closes it.
+fn reject_overloaded(mut stream: TcpStream, retry_after_ms: u64) {
+    let mut err = ServiceError::new(
+        ErrorKind::Overloaded,
+        "connection queue full; retry after the hinted delay",
+    );
+    err.retry_after_ms = Some(retry_after_ms);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{}", err.to_response());
+}
+
+fn worker_loop(shared: &Shared, addr: SocketAddr) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(stream) = stream else { return };
+        serve_connection(shared, stream, addr);
+    }
+}
+
+/// Serves one connection until EOF, timeout, fatal I/O error, or a
+/// `shutdown` request.
+fn serve_connection(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
+    // One-line responses must leave immediately; Nagle + delayed ACK
+    // otherwise adds ~40 ms per round trip on loopback.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(_) => return, // timeout or reset: close
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match parse_request(trimmed) {
+            Ok(request) => {
+                let response = handler::handle(&shared.state, &request);
+                if request == Request::Shutdown {
+                    let _ = write_response(&mut writer, &response);
+                    shared.begin_shutdown();
+                    wake_acceptor(addr);
+                    return;
+                }
+                response
+            }
+            Err(err) => {
+                // Count the attempt too: `requests` tracks lines seen.
+                shared
+                    .state
+                    .counters
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                handler::error_response(&shared.state, &err)
+            }
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    writeln!(writer, "{response}")?;
+    writer.flush()
+}

@@ -1,0 +1,280 @@
+//! End-to-end tests of the litmus-query service over real loopback
+//! sockets: every request kind, structured errors for malformed and
+//! over-budget requests, queue backpressure, cache persistence across
+//! restarts, and graceful drain.
+
+use std::time::Duration;
+
+use samm_serve::client::{Client, ClientError};
+use samm_serve::json::Json;
+use samm_serve::server::{self, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_kind(response: &Json) -> Option<&str> {
+    response
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+}
+
+#[test]
+fn every_request_kind_round_trips() {
+    let handle = server::start(test_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+
+    let enumerate = client
+        .request_raw(r#"{"kind":"enumerate","test":"SB","model":"TSO"}"#)
+        .unwrap();
+    assert!(ok(&enumerate), "{enumerate}");
+    assert_eq!(
+        enumerate.get("cache_hit").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert!(
+        enumerate
+            .get("outcome_count")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    let verdict = client
+        .request_raw(r#"{"kind":"verdict","test":"SB","engine":"parallel"}"#)
+        .unwrap();
+    assert!(ok(&verdict), "{verdict}");
+    let report = verdict.get("report").unwrap();
+    assert_eq!(report.get("all_pass").and_then(Json::as_bool), Some(true));
+    // The SB/TSO enumeration of the first request answers one of the
+    // verdict rows from the cache.
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    assert!(rows
+        .iter()
+        .any(|r| r.get("cache_hit").and_then(Json::as_bool) == Some(true)));
+
+    let witness = client
+        .request_raw(r#"{"kind":"witness","test":"SB","model":"TSO","condition":0}"#)
+        .unwrap();
+    assert!(ok(&witness), "{witness}");
+    assert_eq!(witness.get("found").and_then(Json::as_bool), Some(true));
+
+    let refutation = client
+        .request_raw(r#"{"kind":"refutation","test":"SB","model":"SC","condition":0}"#)
+        .unwrap();
+    assert!(ok(&refutation), "{refutation}");
+    assert_eq!(
+        refutation.get("refuted").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    let certify = client
+        .request_raw(r#"{"kind":"certify","test":"MP+fences","model":"TSO"}"#)
+        .unwrap();
+    assert!(ok(&certify), "{certify}");
+
+    let metrics = client.request_raw(r#"{"kind":"metrics"}"#).unwrap();
+    assert!(ok(&metrics), "{metrics}");
+    assert!(metrics.get("requests").and_then(Json::as_u64).unwrap() >= 6);
+    assert!(metrics.get("cache").is_some());
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn enumeration_cache_is_shared_across_connections() {
+    let handle = server::start(test_config()).unwrap();
+    let mut first = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let cold = first
+        .request_raw(r#"{"kind":"enumerate","test":"IRIW","model":"Weak"}"#)
+        .unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+    drop(first);
+
+    let mut second = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let warm = second
+        .request_raw(r#"{"kind":"enumerate","test":"IRIW","model":"Weak","engine":"parallel"}"#)
+        .unwrap();
+    assert!(ok(&warm), "{warm}");
+    assert_eq!(warm.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(cold.get("outcomes"), warm.get("outcomes"));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_and_unknown_requests_return_structured_errors() {
+    let handle = server::start(test_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    for (line, kind) in [
+        ("this is not json", "malformed"),
+        ("[1,2,3]", "malformed"),
+        (r#"{"kind":"enumerate","test":"SB"}"#, "malformed"),
+        (r#"{"kind":"frobnicate"}"#, "unknown-kind"),
+        (
+            r#"{"kind":"enumerate","test":"NoSuchTest","model":"TSO"}"#,
+            "unknown-test",
+        ),
+        (
+            r#"{"kind":"enumerate","test":"SB","model":"NoSuchModel"}"#,
+            "unknown-model",
+        ),
+        (
+            r#"{"kind":"witness","test":"SB","model":"TSO","condition":99}"#,
+            "malformed",
+        ),
+    ] {
+        let response = client.request_raw(line).unwrap();
+        assert!(!ok(&response), "{line} must fail");
+        assert_eq!(error_kind(&response), Some(kind), "{line}");
+    }
+    // The connection survives every error, and the server still
+    // answers well-formed requests on it.
+    let response = client
+        .request_raw(r#"{"kind":"enumerate","test":"SB","model":"SC"}"#)
+        .unwrap();
+    assert!(ok(&response), "{response}");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn overbudget_requests_fail_structurally_and_do_not_poison_the_cache() {
+    let handle = server::start(test_config()).unwrap();
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let broke = client
+        .request_raw(r#"{"kind":"enumerate","test":"IRIW","model":"Weak","budget":2}"#)
+        .unwrap();
+    assert!(!ok(&broke), "{broke}");
+    assert_eq!(error_kind(&broke), Some("overbudget"));
+    // The failed attempt must not have cached anything: the retry with
+    // headroom runs fresh and succeeds.
+    let retry = client
+        .request_raw(r#"{"kind":"enumerate","test":"IRIW","model":"Weak"}"#)
+        .unwrap();
+    assert!(ok(&retry), "{retry}");
+    assert_eq!(retry.get("cache_hit").and_then(Json::as_bool), Some(false));
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn full_queue_rejects_with_retry_hint() {
+    let handle = server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // Occupy the single worker: a served connection is held by its
+    // worker until it closes.
+    let mut busy = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let response = busy.request_raw(r#"{"kind":"metrics"}"#).unwrap();
+    assert!(ok(&response));
+
+    // Fill the single queue slot.
+    let waiting = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The next connection must be rejected with a structured
+    // `overloaded` error carrying a retry hint. The server writes the
+    // rejection unsolicited and closes, so only read — a write could
+    // fail with a broken pipe before the line is consumed.
+    let mut rejected = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let overloaded = rejected.read_response().unwrap();
+    assert_eq!(error_kind(&overloaded), Some("overloaded"), "{overloaded}");
+    let retry = overloaded
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Json::as_u64);
+    assert!(retry.is_some(), "{overloaded}");
+
+    // Release the worker; the queued connection gets served.
+    drop(busy);
+    let mut waiting = waiting;
+    let response = waiting.request_raw(r#"{"kind":"metrics"}"#).unwrap();
+    assert!(ok(&response), "{response}");
+    assert!(response.get("overloaded").and_then(Json::as_u64).unwrap() >= 1);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_request_drains_gracefully() {
+    let handle = server::start(test_config()).unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    let response = client
+        .request_raw(r#"{"kind":"enumerate","test":"SB","model":"SC"}"#)
+        .unwrap();
+    assert!(ok(&response));
+    let bye = client.request_raw(r#"{"kind":"shutdown"}"#).unwrap();
+    assert!(ok(&bye), "{bye}");
+    // join (not shutdown): the drain was initiated by the wire request.
+    handle.join().unwrap();
+    // The listener is gone: new connections fail or are dropped
+    // unanswered.
+    match Client::connect(addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut late) => {
+            assert!(matches!(
+                late.request_raw(r#"{"kind":"metrics"}"#),
+                Err(ClientError::Closed) | Err(ClientError::Io(_))
+            ));
+        }
+    }
+}
+
+#[test]
+fn cache_persists_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("samm-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.samm");
+
+    let first = server::start(ServerConfig {
+        persist_path: Some(path.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(first.addr(), TIMEOUT).unwrap();
+    let cold = client
+        .request_raw(r#"{"kind":"enumerate","test":"MP","model":"TSO"}"#)
+        .unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+    drop(client);
+    first.shutdown().unwrap();
+    assert!(path.exists(), "drain must persist the cache");
+
+    let second = server::start(ServerConfig {
+        persist_path: Some(path.clone()),
+        ..test_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(second.addr(), TIMEOUT).unwrap();
+    let warm = client
+        .request_raw(r#"{"kind":"enumerate","test":"MP","model":"TSO"}"#)
+        .unwrap();
+    assert!(ok(&warm), "{warm}");
+    assert_eq!(
+        warm.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "restarted server must answer from the persisted cache"
+    );
+    assert_eq!(cold.get("outcomes"), warm.get("outcomes"));
+    drop(client);
+    second.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,180 @@
+//! Differential validation of the content-addressed enumeration cache:
+//! a cache hit must be observably identical to a fresh enumeration.
+//!
+//! Over a random-program corpus, each (program, policy) query is run
+//! fresh under both engines, then replayed through a shared cache in
+//! both orders (serial fills / parallel hits, and vice versa). The
+//! cached answer must be bit-identical in outcomes and deterministic
+//! statistics regardless of which engine filled the entry — the
+//! property `samm-serve` relies on to serve mixed-engine traffic from
+//! one cache. A final check mutates the program and asserts the mutant
+//! can never be answered by the original's entry.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+
+use samm::core::cache::{cached_enumerate, CachedResult, EnumCache};
+use samm::core::enumerate::{enumerate, EnumConfig};
+use samm::core::fingerprint::query_fingerprint;
+use samm::core::ids::Value;
+use samm::core::instr::{Instr, Operand, Program, ThreadProgram};
+use samm::core::parallel::enumerate_parallel;
+use samm::core::policy::Policy;
+use samm::litmus::rand_prog::{random_program, RandConfig};
+
+fn chain() -> [Policy; 4] {
+    [
+        Policy::sequential_consistency(),
+        Policy::tso(),
+        Policy::pso(),
+        Policy::weak(),
+    ]
+}
+
+fn fast() -> EnumConfig {
+    EnumConfig::builder().keep_executions(false).build()
+}
+
+fn gen_config(branchy: bool) -> RandConfig {
+    RandConfig {
+        threads: 2,
+        ops_per_thread: 3,
+        locations: 3,
+        fence_prob: 0.2,
+        store_prob: 0.5,
+        data_dep_prob: 0.25,
+        branch_prob: if branchy { 0.25 } else { 0.0 },
+        rmw_prob: 0.1,
+    }
+}
+
+/// Asserts a [`CachedResult`] equals a fresh enumeration of the same
+/// query: same outcome set and same deterministic counters.
+fn assert_matches_fresh(cached: &CachedResult, program: &Program, policy: &Policy) {
+    let fresh = enumerate(program, policy, &fast()).expect("fresh enumeration succeeds");
+    assert_eq!(cached.outcomes, fresh.outcomes, "outcome sets differ");
+    assert_eq!(cached.stats.explored, fresh.stats.explored);
+    assert_eq!(cached.stats.forks, fresh.stats.forks);
+    assert_eq!(cached.stats.deduped, fresh.stats.deduped);
+    assert_eq!(
+        cached.stats.distinct_executions,
+        fresh.stats.distinct_executions
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The core transparency property, in both fill orders.
+    #[test]
+    fn prop_cache_hits_are_bit_identical_to_fresh_runs(
+        seed in 0u64..1_000_000,
+        branchy in prop::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = random_program(&mut rng, &gen_config(branchy));
+        let config = fast();
+        for policy in chain() {
+            // Serial fills, parallel hits.
+            let cache = EnumCache::new(16);
+            let (serial_fill, hit) =
+                cached_enumerate(&cache, &program, &policy, &config, enumerate)
+                    .expect("fill succeeds");
+            prop_assert!(!hit, "empty cache cannot hit");
+            let (parallel_hit, hit) =
+                cached_enumerate(&cache, &program, &policy, &config, enumerate_parallel)
+                    .expect("hit succeeds");
+            prop_assert!(hit, "second lookup must hit");
+            prop_assert_eq!(&serial_fill, &parallel_hit, "hit must return the stored value");
+
+            // Parallel fills, serial hits: the stored value must be the
+            // same normalized answer, so mixed-engine traffic cannot
+            // observe which engine populated the entry.
+            let other = EnumCache::new(16);
+            let (parallel_fill, _) =
+                cached_enumerate(&other, &program, &policy, &config, enumerate_parallel)
+                    .expect("fill succeeds");
+            let (serial_hit, hit) =
+                cached_enumerate(&other, &program, &policy, &config, enumerate)
+                    .expect("hit succeeds");
+            prop_assert!(hit);
+            prop_assert_eq!(&parallel_fill, &serial_hit);
+            prop_assert_eq!(&serial_fill, &parallel_fill, "fill engines must agree bit-for-bit");
+
+            assert_matches_fresh(&serial_hit, &program, &policy);
+        }
+    }
+
+    /// Distinct programs in one cache never collide: sweeping a corpus
+    /// through a single small cache (with evictions) still answers every
+    /// replay correctly.
+    #[test]
+    fn prop_shared_cache_with_evictions_stays_correct(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = fast();
+        // Shard capacity 2: the 8-program × 2-policy sweep evicts.
+        let cache = EnumCache::with_shards(2, 2);
+        let programs: Vec<Program> = (0..8)
+            .map(|_| random_program(&mut rng, &gen_config(false)))
+            .collect();
+        for program in &programs {
+            for policy in [Policy::sequential_consistency(), Policy::weak()] {
+                let (value, _) =
+                    cached_enumerate(&cache, program, &policy, &config, enumerate)
+                        .expect("enumeration succeeds");
+                assert_matches_fresh(&value, program, &policy);
+            }
+        }
+        // Replay the whole corpus: hits and (post-eviction) refills must
+        // both be correct.
+        for program in &programs {
+            for policy in [Policy::sequential_consistency(), Policy::weak()] {
+                let (value, _) =
+                    cached_enumerate(&cache, program, &policy, &config, enumerate)
+                        .expect("enumeration succeeds");
+                assert_matches_fresh(&value, program, &policy);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.evictions > 0, "sweep must exceed capacity");
+    }
+
+    /// Mutating a program always changes its fingerprint, so a stale
+    /// entry can never answer for the mutant.
+    #[test]
+    fn prop_mutated_programs_never_alias(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = random_program(&mut rng, &gen_config(false));
+        let policy = Policy::weak();
+        let config = fast();
+        let original = query_fingerprint(&program, &policy, &config);
+
+        // Append a store of a fresh value to thread 0: a semantic change.
+        let mut threads: Vec<Vec<Instr>> = program
+            .threads()
+            .iter()
+            .map(|t| t.instrs().to_vec())
+            .collect();
+        threads[0].push(Instr::Store {
+            addr: Operand::Imm(Value::new(0)),
+            val: Operand::Imm(Value::new(991)),
+        });
+        let mutated = Program::with_init(
+            threads.into_iter().map(ThreadProgram::new).collect(),
+            program.init_entries().collect(),
+        );
+        prop_assert!(
+            original != query_fingerprint(&mutated, &policy, &config),
+            "mutation must change the fingerprint"
+        );
+
+        let cache = EnumCache::new(16);
+        let (_, _) = cached_enumerate(&cache, &program, &policy, &config, enumerate)
+            .expect("fill succeeds");
+        let (mutant_value, hit) =
+            cached_enumerate(&cache, &mutated, &policy, &config, enumerate)
+                .expect("mutant enumerates");
+        prop_assert!(!hit, "mutant must not be answered by the stale entry");
+        assert_matches_fresh(&mutant_value, &mutated, &policy);
+    }
+}
