@@ -7,22 +7,33 @@
 //! rate. With the default two passes the first is the cold (cache-
 //! filling) pass and the second demonstrates the warm hit rate.
 //!
+//! Latencies are recorded into the lock-free
+//! [`samm_core::telemetry::Histogram`] — the same log-linear structure
+//! the server uses — so workers never serialise on a mutex and the
+//! reported quantiles carry the histogram's documented ≤ 1/16 relative
+//! error instead of the exact-but-contended sorted-vector approach.
+//!
 //! ```text
 //! samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]
 //!           [--subset catalog-small|catalog|figures]
-//!           [--engine serial|parallel] [--shutdown]
+//!           [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]
 //! ```
 //!
 //! Exits non-zero when any request failed at the protocol or transport
-//! level, so CI can assert a clean run. `--shutdown` sends a
-//! `{"kind":"shutdown"}` request after the last pass, draining the
-//! server.
+//! level, so CI can assert a clean run. `--prom` scrapes the server's
+//! plain-HTTP Prometheus listener after the passes and validates the
+//! exposition with [`samm_core::telemetry::prom::check`] — a scrape
+//! failure or malformed exposition is also a non-zero exit.
+//! `--shutdown` sends a `{"kind":"shutdown"}` request after the last
+//! pass, draining the server.
 
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use samm_core::telemetry::{prom, Histogram, HistogramSnapshot};
 use samm_litmus::catalog::{self, CatalogEntry};
 use samm_serve::client::Client;
 use samm_serve::json::Json;
@@ -35,6 +46,7 @@ struct Options {
     passes: usize,
     subset: String,
     engine: String,
+    prom: Option<String>,
     shutdown: bool,
 }
 
@@ -46,6 +58,7 @@ impl Default for Options {
             passes: 2,
             subset: "catalog-small".to_owned(),
             engine: "serial".to_owned(),
+            prom: None,
             shutdown: false,
         }
     }
@@ -55,7 +68,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]\n\
          \x20                [--subset catalog-small|catalog|figures]\n\
-         \x20                [--engine serial|parallel] [--shutdown]"
+         \x20                [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -78,6 +91,7 @@ fn parse_args() -> Options {
             "--passes" => opts.passes = take("--passes").parse().unwrap_or_else(|_| usage()),
             "--subset" => opts.subset = take("--subset"),
             "--engine" => opts.engine = take("--engine"),
+            "--prom" => opts.prom = Some(take("--prom")),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -135,28 +149,25 @@ fn workload(entries: &[CatalogEntry], engine: &str) -> Vec<String> {
     lines
 }
 
-#[derive(Default)]
 struct PassTally {
-    latencies_ns: Vec<u64>,
+    latencies: HistogramSnapshot,
     hits: u64,
     errors: u64,
 }
 
-fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ns[rank] as f64 / 1e6
+/// A histogram quantile in milliseconds.
+fn quantile_ms(snap: &HistogramSnapshot, q: f64) -> f64 {
+    snap.quantile(q) as f64 / 1e6
 }
 
 /// Replays `lines` with `concurrency` connections; every worker owns
-/// one connection and pulls the next request index atomically.
+/// one connection, pulls the next request index atomically, and records
+/// its latencies straight into the shared lock-free histogram.
 fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally {
     let next = AtomicUsize::new(0);
     let hits = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
-    let latencies = std::sync::Mutex::new(Vec::with_capacity(lines.len()));
+    let latencies = Histogram::new();
     std::thread::scope(|scope| {
         for _ in 0..concurrency.max(1) {
             scope.spawn(|| {
@@ -168,14 +179,13 @@ fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally
                         return;
                     }
                 };
-                let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(line) = lines.get(i) else { break };
                     let started = Instant::now();
                     match client.request_raw(line) {
                         Ok(response) => {
-                            local.push(started.elapsed().as_nanos() as u64);
+                            latencies.record_duration(started.elapsed());
                             if response.get("ok").and_then(Json::as_bool) != Some(true) {
                                 eprintln!("samm-load: error response: {response}");
                                 errors.fetch_add(1, Ordering::Relaxed);
@@ -191,17 +201,64 @@ fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally
                         }
                     }
                 }
-                latencies.lock().unwrap().extend(local);
             });
         }
     });
-    let mut latencies_ns = latencies.into_inner().unwrap();
-    latencies_ns.sort_unstable();
     PassTally {
-        latencies_ns,
+        latencies: latencies.snapshot(),
         hits: hits.into_inner(),
         errors: errors.into_inner(),
     }
+}
+
+/// Every family a healthy server's exposition must carry after a load
+/// run — the counters/histograms `--prom` asserts on.
+const REQUIRED_FAMILIES: [&str; 4] = [
+    "samm_requests_total",
+    "samm_request_latency_seconds",
+    "samm_cache_hits_total",
+    "samm_closure_rule_applications_total",
+];
+
+/// Scrapes `GET /metrics` from the server's plain-HTTP Prometheus
+/// listener and validates the body with the text-format checker.
+fn scrape_prom(addr: &str) -> Result<(), String> {
+    let resolved: SocketAddr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| format!("cannot resolve '{addr}'"))?;
+    let mut stream = TcpStream::connect_timeout(&resolved, TIMEOUT)
+        .map_err(|e| format!("connect {resolved}: {e}"))?;
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: samm\r\n\r\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "no header/body separator in HTTP response".to_owned())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("non-200 response: {status}"));
+    }
+    let summary = prom::check(body).map_err(|e| format!("invalid exposition: {e}"))?;
+    for family in REQUIRED_FAMILIES {
+        if !summary.has_family(family) {
+            return Err(format!("exposition is missing family {family}"));
+        }
+    }
+    println!(
+        "prom scrape ok: {} families, {} samples",
+        summary.families.len(),
+        summary.samples
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -230,7 +287,7 @@ fn main() -> ExitCode {
         let started = Instant::now();
         let tally = run_pass(addr, &lines, opts.concurrency);
         let wall = started.elapsed();
-        let served = tally.latencies_ns.len();
+        let served = tally.latencies.count;
         let hit_rate = if served == 0 {
             0.0
         } else {
@@ -238,12 +295,13 @@ fn main() -> ExitCode {
         };
         println!(
             "pass {pass}: {served} ok in {:.3}s ({:.1} req/s) hit-rate {hit_rate:.1}% \
-             p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms errors {}",
+             p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms max {:.2}ms errors {}",
             wall.as_secs_f64(),
             served as f64 / wall.as_secs_f64().max(1e-9),
-            percentile(&tally.latencies_ns, 0.50),
-            percentile(&tally.latencies_ns, 0.90),
-            percentile(&tally.latencies_ns, 0.99),
+            quantile_ms(&tally.latencies, 0.50),
+            quantile_ms(&tally.latencies, 0.90),
+            quantile_ms(&tally.latencies, 0.99),
+            tally.latencies.max as f64 / 1e6,
             tally.errors,
         );
         total_errors += tally.errors;
@@ -251,6 +309,13 @@ fn main() -> ExitCode {
     }
     println!("total cache hits: {total_hits}");
     println!("total protocol errors: {total_errors}");
+
+    if let Some(prom_addr) = &opts.prom {
+        if let Err(e) = scrape_prom(prom_addr) {
+            eprintln!("samm-load: prom scrape failed: {e}");
+            total_errors += 1;
+        }
+    }
 
     if opts.shutdown {
         match Client::connect(addr, TIMEOUT)

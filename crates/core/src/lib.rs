@@ -63,6 +63,7 @@
 //! | [`explain`] | Fig 3–11 | witnesses for allowed outcomes, refutations for forbidden ones |
 //! | [`fingerprint`] | — | stable content hashes of enumeration queries |
 //! | [`cache`] | — | content-addressed memoization of enumeration answers |
+//! | [`telemetry`] | — | latency histograms, rate counters, JSONL logs, Prometheus exposition |
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -90,6 +91,7 @@ pub mod serialize;
 pub mod speculation;
 pub mod static_order;
 pub mod sync;
+pub mod telemetry;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -113,3 +115,4 @@ pub use obs::{MemoryTrace, Obs, ObsStats, TraceEvent, TraceSink};
 pub use outcome::{Outcome, OutcomeSet};
 pub use parallel::enumerate_parallel;
 pub use policy::{Constraint, ConstraintTable, OpClass, Policy};
+pub use telemetry::{Histogram, HistogramSnapshot, JsonlLog, RateCounter, RequestIdGen};

@@ -4,11 +4,14 @@
 //! samm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 //!            [--read-timeout-secs N] [--budget N] [--cache-shards N]
 //!            [--cache-capacity N] [--persist PATH]
+//!            [--prom-addr HOST:PORT] [--slow-log PATH] [--slow-ms N]
+//!            [--slow-log-max-bytes N] [--no-observe]
 //! ```
 //!
-//! Prints `listening on <addr>` once bound, then serves until a client
-//! sends `{"kind":"shutdown"}`; the process drains in-flight work,
-//! persists the cache when `--persist` was given, and exits 0.
+//! Prints `listening on <addr>` once bound (and `prometheus on <addr>`
+//! when `--prom-addr` was given), then serves until a client sends
+//! `{"kind":"shutdown"}`; the process drains in-flight work, persists
+//! the cache when `--persist` was given, and exits 0.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +23,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: samm-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
          \x20                 [--read-timeout-secs N] [--budget N] [--cache-shards N]\n\
-         \x20                 [--cache-capacity N] [--persist PATH]"
+         \x20                 [--cache-capacity N] [--persist PATH]\n\
+         \x20                 [--prom-addr HOST:PORT] [--slow-log PATH] [--slow-ms N]\n\
+         \x20                 [--slow-log-max-bytes N] [--no-observe]"
     );
     std::process::exit(2);
 }
@@ -58,6 +63,21 @@ fn main() -> ExitCode {
                 Some(path) => config.persist_path = Some(PathBuf::from(path)),
                 None => usage(),
             },
+            "--prom-addr" => match args.next() {
+                Some(addr) => config.prom_addr = Some(addr),
+                None => usage(),
+            },
+            "--slow-log" => match args.next() {
+                Some(path) => config.slow_log = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--slow-ms" => {
+                config.slow_threshold = Duration::from_millis(parse_num("--slow-ms", args.next()));
+            }
+            "--slow-log-max-bytes" => {
+                config.slow_log_max_bytes = parse_num("--slow-log-max-bytes", args.next());
+            }
+            "--no-observe" => config.observe = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("samm-serve: unknown argument '{other}'");
@@ -74,6 +94,9 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", handle.addr());
+    if let Some(prom) = handle.prom_addr() {
+        println!("prometheus on {prom}");
+    }
     match handle.join() {
         Ok(()) => {
             println!("drained; bye");

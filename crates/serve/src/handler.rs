@@ -8,6 +8,7 @@
 //! artifacts are path-dependent and are not cached.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use samm_core::cache::{cached_enumerate, EnumCache};
 use samm_core::enumerate::{enumerate, EnumConfig};
@@ -20,12 +21,19 @@ use samm_litmus::expect::{run_entry_cached, run_entry_cached_parallel, EntryRepo
 
 use crate::json::Json;
 use crate::protocol::{EngineSel, ErrorKind, Request, ServiceError};
+use crate::telemetry::{kind_index, ReqOutcome, Telemetry, KIND_NAMES};
 
 /// Monotonic counters the `metrics` request reports.
 #[derive(Debug, Default)]
 pub struct Counters {
-    /// Requests parsed and executed (including ones that failed).
+    /// Service requests parsed and executed (including ones that
+    /// failed) — *excluding* monitoring requests (`metrics` /
+    /// `metrics_prom`), which are tallied in
+    /// [`Counters::monitoring`] so self-observation never skews the
+    /// service rates.
     pub requests: AtomicU64,
+    /// Monitoring requests (`metrics` / `metrics_prom`).
+    pub monitoring: AtomicU64,
     /// Requests answered with a structured error.
     pub errors: AtomicU64,
     /// Connections rejected because the queue was full.
@@ -33,7 +41,7 @@ pub struct Counters {
 }
 
 /// State shared by every worker: the enumeration cache, the default
-/// fork budget, and the metrics counters.
+/// fork budget, the metrics counters, and the telemetry block.
 #[derive(Debug)]
 pub struct ServerState {
     /// The content-addressed enumeration cache.
@@ -42,15 +50,35 @@ pub struct ServerState {
     pub default_budget: Option<u64>,
     /// Metrics counters.
     pub counters: Counters,
+    /// Latency histograms, rates, obs aggregation, slow-query log.
+    pub telemetry: Telemetry,
+    /// Whether enumerations run instrumented
+    /// ([`EnumConfig::observe`]), feeding the aggregated closure-rule
+    /// counters. One server-wide setting so cache keys stay uniform.
+    pub observe: bool,
 }
 
 impl ServerState {
-    /// Builds state with a cache of the given geometry.
+    /// Builds state with a cache of the given geometry, default
+    /// telemetry (no slow log), and instrumentation on.
     pub fn new(cache: EnumCache, default_budget: Option<u64>) -> Self {
+        ServerState::with_telemetry(cache, default_budget, Telemetry::default(), true)
+    }
+
+    /// Builds state with explicit telemetry and instrumentation
+    /// settings.
+    pub fn with_telemetry(
+        cache: EnumCache,
+        default_budget: Option<u64>,
+        telemetry: Telemetry,
+        observe: bool,
+    ) -> Self {
         ServerState {
             cache,
             default_budget,
             counters: Counters::default(),
+            telemetry,
+            observe,
         }
     }
 
@@ -60,17 +88,44 @@ impl ServerState {
     fn config(&self, budget: Option<u64>) -> EnumConfig {
         EnumConfig::builder()
             .keep_executions(false)
+            .observe(self.observe)
             .budget(budget.or(self.default_budget))
             .build()
     }
+
+    /// Renders the Prometheus exposition for the current state.
+    pub fn render_prom(&self) -> String {
+        self.telemetry.render_prom(
+            self.counters.overloaded.load(Ordering::Relaxed),
+            &self.cache.stats(),
+        )
+    }
 }
 
-/// Executes one request. Never panics on bad input: failures come back
-/// as `{"ok":false,"error":{...}}` objects. `Shutdown` is answered with
-/// a plain ok — the connection loop, not this function, performs the
-/// drain.
+/// Executes one request with a server-assigned request id. Never panics
+/// on bad input: failures come back as `{"ok":false,"error":{...}}`
+/// objects. `Shutdown` is answered with a plain ok — the connection
+/// loop, not this function, performs the drain.
 pub fn handle(state: &ServerState, request: &Request) -> Json {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    handle_traced(state, request, None)
+}
+
+/// As [`handle`], echoing `id` (or a server-assigned one) in the
+/// response and recording latency telemetry: per-kind histograms split
+/// by hit/miss/overbudget, the request-rate window, and the slow-query
+/// log.
+pub fn handle_traced(state: &ServerState, request: &Request, id: Option<&str>) -> Json {
+    let id = id.map_or_else(|| state.telemetry.ids.next_id(), str::to_owned);
+    let kind = kind_index(request);
+    match (kind, request) {
+        (Some(_), _) => state.counters.requests.fetch_add(1, Ordering::Relaxed),
+        (None, Request::Shutdown) => state.counters.requests.fetch_add(1, Ordering::Relaxed),
+        (None, _) => {
+            state.counters.monitoring.fetch_add(1, Ordering::Relaxed);
+            state.telemetry.monitoring.fetch_add(1, Ordering::Relaxed)
+        }
+    };
+    let started = Instant::now();
     let result = match request {
         Request::Enumerate {
             test,
@@ -97,15 +152,32 @@ pub fn handle(state: &ServerState, request: &Request) -> Json {
         } => refutation_response(state, test, model, *condition, *budget),
         Request::Certify { test, model } => certify_response(test, model),
         Request::Metrics => Ok(metrics_response(state)),
+        Request::MetricsProm => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("metrics_prom")),
+            ("text", Json::str(state.render_prom())),
+        ])),
         Request::Shutdown => Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("kind", Json::str("shutdown")),
         ])),
     };
-    match result {
+    let mut response = match result {
         Ok(response) => response,
         Err(err) => error_response(state, &err),
+    };
+    let elapsed = started.elapsed();
+    if let Some(kind) = kind {
+        let outcome = ReqOutcome::classify(&response);
+        state.telemetry.record(kind, outcome, elapsed);
+        state
+            .telemetry
+            .note_slow(&id, KIND_NAMES[kind], outcome, elapsed);
     }
+    if let Json::Obj(map) = &mut response {
+        map.insert("id".to_owned(), Json::str(id));
+    }
+    response
 }
 
 /// Renders `err` as a response, counting it.
@@ -209,6 +281,9 @@ fn enumerate_response(
         ),
     }
     .map_err(enum_error)?;
+    if !hit {
+        state.telemetry.fold_stats(&value.stats);
+    }
     Ok(Json::obj([
         ("ok", Json::Bool(true)),
         ("kind", Json::str("enumerate")),
@@ -261,6 +336,9 @@ fn verdict_response(
         EngineSel::Parallel => run_entry_cached_parallel(&entry, &config, &state.cache),
     }
     .map_err(enum_error)?;
+    for row in report.rows.iter().filter(|row| !row.cache_hit) {
+        state.telemetry.fold_stats(&row.stats);
+    }
     Ok(Json::obj([
         ("ok", Json::Bool(true)),
         ("kind", Json::str("verdict")),
@@ -359,6 +437,10 @@ fn metrics_response(state: &ServerState) -> Json {
             Json::num(counters.requests.load(Ordering::Relaxed) as f64),
         ),
         (
+            "monitoring",
+            Json::num(counters.monitoring.load(Ordering::Relaxed) as f64),
+        ),
+        (
             "errors",
             Json::num(counters.errors.load(Ordering::Relaxed) as f64),
         ),
@@ -367,6 +449,7 @@ fn metrics_response(state: &ServerState) -> Json {
             Json::num(counters.overloaded.load(Ordering::Relaxed) as f64),
         ),
         ("cache", Json::Raw(state.cache.stats().to_json())),
+        ("telemetry", state.telemetry.to_json()),
     ])
 }
 
@@ -555,9 +638,105 @@ mod tests {
             },
         );
         let m = handle(&state, &Request::Metrics);
-        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(1));
         assert_eq!(m.get("errors").and_then(Json::as_u64), Some(0));
         let parsed = crate::json::parse(&m.to_string()).unwrap();
         assert!(parsed.get("cache").is_some());
+        assert!(parsed.get("telemetry").is_some());
+    }
+
+    /// Self-monitoring must not skew the service counters: `metrics`
+    /// and `metrics_prom` requests are tallied in `monitoring`, never
+    /// in `requests`.
+    #[test]
+    fn monitoring_requests_are_reported_separately() {
+        let state = state();
+        handle(
+            &state,
+            &Request::Enumerate {
+                test: "SB".into(),
+                model: "SC".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        // A burst of self-monitoring...
+        for _ in 0..5 {
+            handle(&state, &Request::Metrics);
+        }
+        handle(&state, &Request::MetricsProm);
+        let m = handle(&state, &Request::Metrics);
+        // ...leaves `requests` at the one real query.
+        assert_eq!(m.get("requests").and_then(Json::as_u64), Some(1));
+        // The metrics above plus this one, and the prom scrape.
+        assert_eq!(m.get("monitoring").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn requests_get_ids_and_latency_telemetry() {
+        let state = state();
+        let req = Request::Enumerate {
+            test: "SB".into(),
+            model: "TSO".into(),
+            budget: None,
+            engine: EngineSel::Serial,
+        };
+        // Server-assigned ids are unique; client ids are echoed.
+        let first = handle(&state, &req);
+        let second = handle(&state, &req);
+        let a = first.get("id").and_then(Json::as_str).unwrap();
+        let b = second.get("id").and_then(Json::as_str).unwrap();
+        assert_ne!(a, b);
+        let echoed = handle_traced(&state, &req, Some("client-77"));
+        assert_eq!(echoed.get("id").and_then(Json::as_str), Some("client-77"));
+        // One miss then two hits, all in the enumerate histograms.
+        let k = &state.telemetry.kinds[0];
+        assert_eq!(k.miss.count(), 1);
+        assert_eq!(k.hit.count(), 2);
+        // The fresh run's stats (observe on by default) reached the
+        // aggregated obs counters.
+        assert!(state.telemetry.obs_agg.snapshot().rule_edges() > 0);
+        assert!(state.telemetry.enum_forks.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn overbudget_latency_is_tracked_separately() {
+        let state = state();
+        handle(
+            &state,
+            &Request::Enumerate {
+                test: "IRIW".into(),
+                model: "Weak".into(),
+                budget: Some(3),
+                engine: EngineSel::Serial,
+            },
+        );
+        let k = &state.telemetry.kinds[0];
+        assert_eq!(k.overbudget.count(), 1);
+        assert_eq!(k.miss.count(), 0);
+        assert_eq!(k.errors.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn metrics_prom_response_is_a_valid_exposition() {
+        let state = state();
+        handle(
+            &state,
+            &Request::Enumerate {
+                test: "SB".into(),
+                model: "TSO".into(),
+                budget: None,
+                engine: EngineSel::Serial,
+            },
+        );
+        let resp = handle(&state, &Request::MetricsProm);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        let text = resp.get("text").and_then(Json::as_str).unwrap();
+        let summary = samm_core::telemetry::prom::check(text).expect("valid exposition");
+        assert!(summary.has_family("samm_requests_total"));
+        assert!(summary.has_family("samm_request_latency_seconds"));
+        assert!(summary.has_family("samm_closure_rule_applications_total"));
+        // The response as a whole is still one well-formed JSON line.
+        crate::json::parse(&resp.to_string()).unwrap();
     }
 }

@@ -41,9 +41,13 @@ pub mod handler;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, ClientError};
 pub use handler::ServerState;
 pub use json::Json;
-pub use protocol::{parse_request, EngineSel, ErrorKind, Request, ServiceError};
+pub use protocol::{
+    parse_envelope, parse_request, EngineSel, Envelope, ErrorKind, Request, ServiceError,
+};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use telemetry::{ReqOutcome, Telemetry};

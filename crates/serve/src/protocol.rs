@@ -86,9 +86,25 @@ pub enum Request {
     },
     /// Report server counters and cache statistics.
     Metrics,
+    /// Report the Prometheus text-format exposition (as the `text`
+    /// field of the response). The same payload is served over plain
+    /// HTTP when the server was started with `--prom-addr`.
+    MetricsProm,
     /// Ask the server to stop accepting connections, drain in-flight
     /// work, and exit.
     Shutdown,
+}
+
+/// A request line as parsed off the wire: the typed [`Request`] plus
+/// the optional client-chosen `id` echoed back in the response (and
+/// recorded in the slow-query log). Requests without an `id` get a
+/// server-assigned one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen request id, if the line carried one.
+    pub id: Option<String>,
+    /// The request itself.
+    pub request: Request,
 }
 
 /// Machine-readable failure classes; the wire `error.kind` field.
@@ -210,13 +226,25 @@ fn optional_engine(obj: &Json) -> Result<EngineSel, ServiceError> {
     }
 }
 
-/// Parses one request line.
+/// Parses one request line, discarding any `id` field — see
+/// [`parse_envelope`] for the id-aware entry point the server uses.
 ///
 /// # Errors
 ///
 /// [`ErrorKind::Malformed`] for syntax or schema problems,
 /// [`ErrorKind::UnknownKind`] for an unrecognised `kind`.
 pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    parse_envelope(line).map(|e| e.request)
+}
+
+/// Parses one request line into an [`Envelope`]: the typed request plus
+/// the optional `id` field (any kind may carry one).
+///
+/// # Errors
+///
+/// As for [`parse_request`]; a non-string `id` is
+/// [`ErrorKind::Malformed`].
+pub fn parse_envelope(line: &str) -> Result<Envelope, ServiceError> {
     let value = json::parse(line)
         .map_err(|e| ServiceError::new(ErrorKind::Malformed, format!("invalid JSON: {e}")))?;
     if !matches!(value, Json::Obj(_)) {
@@ -225,24 +253,35 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             "request must be a JSON object",
         ));
     }
-    let kind = required_str(&value, "kind")?;
+    let id = match value.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+            ServiceError::new(ErrorKind::Malformed, "field 'id' must be a string")
+        })?),
+    };
+    let request = parse_request_obj(&value)?;
+    Ok(Envelope { id, request })
+}
+
+fn parse_request_obj(value: &Json) -> Result<Request, ServiceError> {
+    let kind = required_str(value, "kind")?;
     match kind.as_str() {
         "enumerate" => Ok(Request::Enumerate {
-            test: required_str(&value, "test")?,
-            model: required_str(&value, "model")?,
-            budget: optional_u64(&value, "budget")?,
-            engine: optional_engine(&value)?,
+            test: required_str(value, "test")?,
+            model: required_str(value, "model")?,
+            budget: optional_u64(value, "budget")?,
+            engine: optional_engine(value)?,
         }),
         "verdict" => Ok(Request::Verdict {
-            test: required_str(&value, "test")?,
-            budget: optional_u64(&value, "budget")?,
-            engine: optional_engine(&value)?,
+            test: required_str(value, "test")?,
+            budget: optional_u64(value, "budget")?,
+            engine: optional_engine(value)?,
         }),
         "witness" | "refutation" => {
-            let test = required_str(&value, "test")?;
-            let model = required_str(&value, "model")?;
-            let condition = optional_u64(&value, "condition")?.unwrap_or(0) as usize;
-            let budget = optional_u64(&value, "budget")?;
+            let test = required_str(value, "test")?;
+            let model = required_str(value, "model")?;
+            let condition = optional_u64(value, "condition")?.unwrap_or(0) as usize;
+            let budget = optional_u64(value, "budget")?;
             Ok(if kind == "witness" {
                 Request::Witness {
                     test,
@@ -260,10 +299,11 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             })
         }
         "certify" => Ok(Request::Certify {
-            test: required_str(&value, "test")?,
-            model: required_str(&value, "model")?,
+            test: required_str(value, "test")?,
+            model: required_str(value, "model")?,
         }),
         "metrics" => Ok(Request::Metrics),
+        "metrics_prom" => Ok(Request::MetricsProm),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::new(
             ErrorKind::UnknownKind,
@@ -326,9 +366,24 @@ mod tests {
             Request::Metrics
         );
         assert_eq!(
+            parse_request(r#"{"kind":"metrics_prom"}"#).unwrap(),
+            Request::MetricsProm
+        );
+        assert_eq!(
             parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn envelope_carries_the_request_id() {
+        let env = parse_envelope(r#"{"kind":"metrics","id":"trace-7"}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("trace-7"));
+        assert_eq!(env.request, Request::Metrics);
+        let env = parse_envelope(r#"{"kind":"metrics"}"#).unwrap();
+        assert_eq!(env.id, None);
+        let err = parse_envelope(r#"{"kind":"metrics","id":7}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
     }
 
     #[test]

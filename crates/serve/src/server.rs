@@ -30,7 +30,8 @@ use samm_core::cache::EnumCache;
 
 use crate::handler::{self, ServerState};
 use crate::json::Json;
-use crate::protocol::{parse_request, ErrorKind, Request, ServiceError};
+use crate::protocol::{parse_envelope, ErrorKind, Request, ServiceError};
+use crate::telemetry::Telemetry;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +55,19 @@ pub struct ServerConfig {
     /// When set, the cache is loaded from this file on start and saved
     /// back on drain.
     pub persist_path: Option<PathBuf>,
+    /// Run enumerations instrumented, feeding the aggregated
+    /// closure-rule counters in the exposition (≈ noise-level cost, see
+    /// EXPERIMENTS E19/E22).
+    pub observe: bool,
+    /// When set, bind a plain-HTTP listener on this address serving the
+    /// Prometheus exposition (`GET /metrics`).
+    pub prom_addr: Option<String>,
+    /// When set, append slow-query JSONL records to this file.
+    pub slow_log: Option<PathBuf>,
+    /// Requests at or over this duration are logged as slow.
+    pub slow_threshold: Duration,
+    /// Rotate the slow log after roughly this many bytes.
+    pub slow_log_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,11 +81,17 @@ impl Default for ServerConfig {
             cache_shards: 16,
             cache_capacity: 256,
             persist_path: None,
+            observe: true,
+            prom_addr: None,
+            slow_log: None,
+            slow_threshold: Duration::from_millis(100),
+            slow_log_max_bytes: 16 * 1024 * 1024,
         }
     }
 }
 
-/// State shared between the acceptor and the workers.
+/// State shared between the acceptor, the workers, and the Prometheus
+/// listener.
 struct Shared {
     state: ServerState,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -80,16 +100,21 @@ struct Shared {
     queue_capacity: usize,
     read_timeout: Duration,
     retry_after_ms: u64,
+    prom_addr: Mutex<Option<SocketAddr>>,
 }
 
 impl Shared {
-    /// Raises the shutdown flag and wakes everyone blocked on the queue.
+    /// Raises the shutdown flag and wakes everyone blocked on the
+    /// queue, plus the Prometheus listener when one is running.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The lock round-trip orders the flag store against workers
         // about to sleep on the condvar.
         drop(self.queue.lock().expect("queue poisoned"));
         self.available.notify_all();
+        if let Some(addr) = *self.prom_addr.lock().expect("prom addr poisoned") {
+            wake_acceptor(addr);
+        }
     }
 }
 
@@ -98,8 +123,10 @@ impl Shared {
 /// [`ServerHandle::join`].
 pub struct ServerHandle {
     addr: SocketAddr,
+    prom_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    prom: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     persist_path: Option<PathBuf>,
 }
@@ -118,6 +145,12 @@ impl ServerHandle {
     /// for port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus HTTP address, when `prom_addr` was
+    /// configured.
+    pub fn prom_addr(&self) -> Option<SocketAddr> {
+        self.prom_addr
     }
 
     /// Initiates a graceful drain (as if a `shutdown` request arrived)
@@ -148,6 +181,15 @@ impl ServerHandle {
             acceptor
                 .join()
                 .map_err(|_| std::io::Error::other("acceptor thread panicked"))?;
+        }
+        if let Some(prom) = self.prom.take() {
+            // The begin_shutdown wake-up may have raced the flag; nudge
+            // the listener again now that shutdown is certainly set.
+            if let Some(addr) = self.prom_addr {
+                wake_acceptor(addr);
+            }
+            prom.join()
+                .map_err(|_| std::io::Error::other("prom thread panicked"))?;
         }
         for worker in self.workers.drain(..) {
             worker
@@ -182,14 +224,32 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             cache.load_from(path)?;
         }
     }
+    let telemetry = match &config.slow_log {
+        Some(path) => Telemetry::with_slow_log(
+            path.clone(),
+            config.slow_threshold,
+            config.slow_log_max_bytes,
+        )?,
+        None => Telemetry::default(),
+    };
+    let prom_listener = config
+        .prom_addr
+        .as_deref()
+        .map(TcpListener::bind)
+        .transpose()?;
+    let prom_addr = prom_listener
+        .as_ref()
+        .map(TcpListener::local_addr)
+        .transpose()?;
     let shared = Arc::new(Shared {
-        state: ServerState::new(cache, config.budget),
+        state: ServerState::with_telemetry(cache, config.budget, telemetry, config.observe),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         queue_capacity: config.queue_capacity.max(1),
         read_timeout: config.read_timeout,
         retry_after_ms: 50,
+        prom_addr: Mutex::new(prom_addr),
     });
 
     let workers = (0..config.workers.max(1))
@@ -208,10 +268,21 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || acceptor_loop(&listener, &shared))?
     };
 
+    let prom = prom_listener
+        .map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("samm-serve-prom".to_owned())
+                .spawn(move || prom_loop(&listener, &shared))
+        })
+        .transpose()?;
+
     Ok(ServerHandle {
         addr,
+        prom_addr,
         shared,
         acceptor: Some(acceptor),
+        prom,
         workers,
         persist_path: config.persist_path,
     })
@@ -239,10 +310,73 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
             reject_overloaded(stream, shared.retry_after_ms);
         } else {
             queue.push_back(stream);
+            let depth = queue.len() as u64;
             drop(queue);
+            shared
+                .state
+                .telemetry
+                .queue_depth
+                .store(depth, Ordering::Relaxed);
             shared.available.notify_one();
         }
     }
+}
+
+/// Serves the Prometheus text exposition over bare HTTP/1.0: reads one
+/// request head, answers `GET /metrics` (and `GET /`) with the current
+/// exposition, anything else with 404, then closes. One connection at a
+/// time — scrapes are rare and the render is cheap.
+fn prom_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        serve_prom_http(shared, stream);
+    }
+}
+
+fn serve_prom_http(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", shared.state.render_prom())
+    } else {
+        ("404 Not Found", "not found\n".to_owned())
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
 }
 
 /// Answers an over-capacity connection with a structured `overloaded`
@@ -263,6 +397,11 @@ fn worker_loop(shared: &Shared, addr: SocketAddr) {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(stream) = queue.pop_front() {
+                    shared
+                        .state
+                        .telemetry
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
                     break Some(stream);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -301,10 +440,14 @@ fn serve_connection(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
         if trimmed.is_empty() {
             continue;
         }
-        let response = match parse_request(trimmed) {
-            Ok(request) => {
-                let response = handler::handle(&shared.state, &request);
-                if request == Request::Shutdown {
+        let response = match parse_envelope(trimmed) {
+            Ok(envelope) => {
+                let response = handler::handle_traced(
+                    &shared.state,
+                    &envelope.request,
+                    envelope.id.as_deref(),
+                );
+                if envelope.request == Request::Shutdown {
                     let _ = write_response(&mut writer, &response);
                     shared.begin_shutdown();
                     wake_acceptor(addr);

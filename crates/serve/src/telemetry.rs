@@ -1,0 +1,589 @@
+//! Server-side telemetry: per-request-kind latency histograms (split by
+//! cache hit / miss / overbudget), monitoring-request accounting, a
+//! queue-depth gauge, aggregated enumeration counters, a slow-query
+//! JSONL log, and the Prometheus text exposition.
+//!
+//! Built from the [`samm_core::telemetry`] primitives; everything here
+//! is lock-free on the request path (one histogram `record` plus a few
+//! relaxed counter increments per request). The exposition is rendered
+//! on demand by [`Telemetry::render_prom`] and validated end to end by
+//! [`samm_core::telemetry::prom::check`] in CI.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use samm_core::cache::CacheStats;
+use samm_core::enumerate::EnumStats;
+use samm_core::obs::Obs;
+use samm_core::telemetry::{
+    jsonl_event, EventSink, FieldValue, Histogram, HistogramSnapshot, JsonlLog, RateCounter,
+    RequestIdGen, LATENCY_LE_NANOS,
+};
+
+use crate::json::Json;
+use crate::protocol::Request;
+
+/// The latency-tracked request kinds, in wire-name order. `metrics`,
+/// `metrics_prom`, and `shutdown` are monitoring/control traffic and
+/// are accounted separately (see the `monitoring` counter), so
+/// self-observation never skews the service rates.
+pub const KIND_NAMES: [&str; 5] = ["enumerate", "verdict", "witness", "refutation", "certify"];
+
+/// Index into [`KIND_NAMES`] for a request, or `None` for
+/// monitoring/control kinds.
+pub fn kind_index(request: &Request) -> Option<usize> {
+    match request {
+        Request::Enumerate { .. } => Some(0),
+        Request::Verdict { .. } => Some(1),
+        Request::Witness { .. } => Some(2),
+        Request::Refutation { .. } => Some(3),
+        Request::Certify { .. } => Some(4),
+        Request::Metrics | Request::MetricsProm | Request::Shutdown => None,
+    }
+}
+
+/// How a request was answered, for counter/histogram labeling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOutcome {
+    /// Answered from the enumeration cache.
+    Hit,
+    /// Answered by fresh work (or a kind with no cache).
+    Miss,
+    /// Failed with the structured `overbudget` error.
+    Overbudget,
+    /// Failed with any other structured error.
+    Error,
+}
+
+impl ReqOutcome {
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqOutcome::Hit => "hit",
+            ReqOutcome::Miss => "miss",
+            ReqOutcome::Overbudget => "overbudget",
+            ReqOutcome::Error => "error",
+        }
+    }
+
+    /// Classifies a rendered response: structured errors by kind, then
+    /// the `cache_hit` field when present.
+    pub fn classify(response: &Json) -> ReqOutcome {
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            return if kind == Some("overbudget") {
+                ReqOutcome::Overbudget
+            } else {
+                ReqOutcome::Error
+            };
+        }
+        match response.get("cache_hit").and_then(Json::as_bool) {
+            Some(true) => ReqOutcome::Hit,
+            _ => ReqOutcome::Miss,
+        }
+    }
+}
+
+/// Latency histograms and outcome counters for one request kind.
+#[derive(Debug, Default)]
+pub struct KindTelemetry {
+    /// Latency of cache-hit answers.
+    pub hit: Histogram,
+    /// Latency of fresh (miss) answers.
+    pub miss: Histogram,
+    /// Latency of overbudget failures.
+    pub overbudget: Histogram,
+    /// Structured errors other than overbudget (no latency tracked —
+    /// they are parse/lookup failures, not work).
+    pub errors: AtomicU64,
+}
+
+impl KindTelemetry {
+    /// Requests of this kind seen (all outcomes).
+    pub fn total(&self) -> u64 {
+        self.hit.count()
+            + self.miss.count()
+            + self.overbudget.count()
+            + self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The merged latency snapshot across hit/miss/overbudget.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let mut snap = self.hit.snapshot();
+        snap.merge(&self.miss.snapshot());
+        snap.merge(&self.overbudget.snapshot());
+        snap
+    }
+}
+
+/// Slow-query logging configuration and state.
+#[derive(Debug)]
+pub struct SlowLog {
+    /// Requests at or above this duration are logged.
+    pub threshold: Duration,
+    /// The JSONL sink (rotating file in production, memory in tests).
+    pub sink: Box<dyn EventSink>,
+}
+
+/// The server's aggregate telemetry. One instance lives in
+/// `ServerState` and is shared by every worker.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Server start, for uptime and event timestamps.
+    pub started: Instant,
+    /// Generator for server-assigned request ids.
+    pub ids: RequestIdGen,
+    /// Per-kind latency histograms and counters ([`KIND_NAMES`] order).
+    pub kinds: [KindTelemetry; 5],
+    /// Monitoring requests (`metrics` / `metrics_prom`) — reported
+    /// separately so self-observation does not skew `requests`.
+    pub monitoring: AtomicU64,
+    /// Completed-request rate window (non-monitoring).
+    pub rate: RateCounter,
+    /// Connections currently queued waiting for a worker.
+    pub queue_depth: AtomicU64,
+    /// Aggregated closure-rule / candidate counters folded from every
+    /// fresh enumeration's [`samm_core::obs::ObsStats`].
+    pub obs_agg: Obs,
+    /// Behaviours explored by fresh enumerations.
+    pub enum_explored: AtomicU64,
+    /// Forks attempted by fresh enumerations.
+    pub enum_forks: AtomicU64,
+    /// Forks discarded as duplicates (dedup hits) by fresh enumerations.
+    pub enum_deduped: AtomicU64,
+    /// Requests logged as slow.
+    pub slow_total: AtomicU64,
+    /// Request id of the most recent slow query (exposed as an info
+    /// metric so dashboards can link the exposition to the JSONL log).
+    pub last_slow_id: Mutex<Option<String>>,
+    /// Slow-query log, when configured.
+    pub slow: Option<SlowLog>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(None)
+    }
+}
+
+impl Telemetry {
+    /// Telemetry with an optional slow-query log.
+    pub fn new(slow: Option<SlowLog>) -> Self {
+        Telemetry {
+            started: Instant::now(),
+            ids: RequestIdGen::new("r"),
+            kinds: Default::default(),
+            monitoring: AtomicU64::new(0),
+            rate: RateCounter::new(),
+            queue_depth: AtomicU64::new(0),
+            obs_agg: Obs::new(),
+            enum_explored: AtomicU64::new(0),
+            enum_forks: AtomicU64::new(0),
+            enum_deduped: AtomicU64::new(0),
+            slow_total: AtomicU64::new(0),
+            last_slow_id: Mutex::new(None),
+            slow,
+        }
+    }
+
+    /// Opens a rotating slow-query JSONL log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to open the file.
+    pub fn with_slow_log(
+        path: PathBuf,
+        threshold: Duration,
+        max_bytes: u64,
+    ) -> std::io::Result<Telemetry> {
+        let log = JsonlLog::open(path, max_bytes)?;
+        Ok(Telemetry::new(Some(SlowLog {
+            threshold,
+            sink: Box::new(log),
+        })))
+    }
+
+    /// Records one completed latency-tracked request.
+    pub fn record(&self, kind: usize, outcome: ReqOutcome, elapsed: Duration) {
+        let k = &self.kinds[kind];
+        match outcome {
+            ReqOutcome::Hit => k.hit.record_duration(elapsed),
+            ReqOutcome::Miss => k.miss.record_duration(elapsed),
+            ReqOutcome::Overbudget => k.overbudget.record_duration(elapsed),
+            ReqOutcome::Error => {
+                k.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.rate.record();
+    }
+
+    /// Logs a slow query (when configured and `elapsed` is at or over
+    /// the threshold) and remembers its id.
+    pub fn note_slow(&self, id: &str, kind: &str, outcome: ReqOutcome, elapsed: Duration) {
+        let Some(slow) = &self.slow else { return };
+        if elapsed < slow.threshold {
+            return;
+        }
+        self.slow_total.fetch_add(1, Ordering::Relaxed);
+        *self.last_slow_id.lock().expect("slow id poisoned") = Some(id.to_owned());
+        let line = jsonl_event(&[
+            (
+                "uptime_ms",
+                FieldValue::U64(self.started.elapsed().as_millis() as u64),
+            ),
+            ("id", FieldValue::Str(id)),
+            ("kind", FieldValue::Str(kind)),
+            ("outcome", FieldValue::Str(outcome.label())),
+            ("ns", FieldValue::U64(elapsed.as_nanos() as u64)),
+            ("ms", FieldValue::F64(elapsed.as_secs_f64() * 1e3)),
+        ]);
+        slow.sink.emit(&line);
+    }
+
+    /// Folds a fresh enumeration's statistics into the aggregate
+    /// counters (callers skip cache hits — hits did no new work).
+    pub fn fold_stats(&self, stats: &EnumStats) {
+        self.enum_explored
+            .fetch_add(stats.explored as u64, Ordering::Relaxed);
+        self.enum_forks
+            .fetch_add(stats.forks as u64, Ordering::Relaxed);
+        self.enum_deduped
+            .fetch_add(stats.deduped as u64, Ordering::Relaxed);
+        if let Some(obs) = &stats.obs {
+            Obs::add(&self.obs_agg.rule_a, obs.rule_a);
+            Obs::add(&self.obs_agg.rule_b, obs.rule_b);
+            Obs::add(&self.obs_agg.rule_c, obs.rule_c);
+            Obs::add(&self.obs_agg.closure_rounds, obs.closure_rounds);
+            Obs::add(&self.obs_agg.candidate_calls, obs.candidate_calls);
+            Obs::add(&self.obs_agg.candidate_stores, obs.candidate_stores);
+            Obs::add(&self.obs_agg.closure_nanos, obs.closure_nanos);
+            Obs::add(&self.obs_agg.settle_nanos, obs.settle_nanos);
+            Obs::add(&self.obs_agg.resolve_nanos, obs.resolve_nanos);
+        }
+    }
+
+    /// Latency-tracked requests completed so far (all kinds/outcomes).
+    pub fn requests_total(&self) -> u64 {
+        self.kinds.iter().map(KindTelemetry::total).sum()
+    }
+
+    /// The `telemetry` section of the JSON `metrics` response: uptime,
+    /// rates, queue depth, per-kind quantiles, and aggregate counters —
+    /// everything `samm-top` renders.
+    pub fn to_json(&self) -> Json {
+        let ms = 1e-6; // ns -> ms
+        let kinds = KIND_NAMES
+            .iter()
+            .zip(&self.kinds)
+            .map(|(name, k)| {
+                let merged = k.merged();
+                (
+                    *name,
+                    Json::obj([
+                        ("hit", Json::num(k.hit.count() as f64)),
+                        ("miss", Json::num(k.miss.count() as f64)),
+                        ("overbudget", Json::num(k.overbudget.count() as f64)),
+                        ("errors", Json::num(k.errors.load(Ordering::Relaxed) as f64)),
+                        ("p50_ms", Json::num(merged.quantile(0.50) as f64 * ms)),
+                        ("p90_ms", Json::num(merged.quantile(0.90) as f64 * ms)),
+                        ("p99_ms", Json::num(merged.quantile(0.99) as f64 * ms)),
+                        ("max_ms", Json::num(merged.max as f64 * ms)),
+                        ("mean_ms", Json::num(merged.mean() * ms)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        let obs = self.obs_agg.snapshot();
+        Json::obj([
+            (
+                "uptime_secs",
+                Json::num(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "queue_depth",
+                Json::num(self.queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "monitoring",
+                Json::num(self.monitoring.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "slow_queries",
+                Json::num(self.slow_total.load(Ordering::Relaxed) as f64),
+            ),
+            ("rate_5s", Json::num(self.rate.rate_per_sec(5))),
+            ("kinds", Json::obj(kinds)),
+            (
+                "rules",
+                Json::obj([
+                    ("rule_a", Json::num(obs.rule_a as f64)),
+                    ("rule_b", Json::num(obs.rule_b as f64)),
+                    ("rule_c", Json::num(obs.rule_c as f64)),
+                    ("closure_rounds", Json::num(obs.closure_rounds as f64)),
+                    ("candidate_calls", Json::num(obs.candidate_calls as f64)),
+                    ("candidate_stores", Json::num(obs.candidate_stores as f64)),
+                ]),
+            ),
+            (
+                "enumeration",
+                Json::obj([
+                    (
+                        "explored",
+                        Json::num(self.enum_explored.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "forks",
+                        Json::num(self.enum_forks.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "deduped",
+                        Json::num(self.enum_deduped.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders the full Prometheus text exposition. `overloaded` is the
+    /// acceptor's rejection counter; `cache` the enumeration cache's
+    /// stats.
+    pub fn render_prom(&self, overloaded: u64, cache: &CacheStats) -> String {
+        use samm_core::telemetry::prom::PromText;
+        let mut prom = PromText::new();
+
+        let mut request_samples: Vec<(Vec<(&str, &str)>, f64)> = Vec::new();
+        for (name, k) in KIND_NAMES.iter().zip(&self.kinds) {
+            for (outcome, count) in [
+                ("hit", k.hit.count()),
+                ("miss", k.miss.count()),
+                ("overbudget", k.overbudget.count()),
+                ("error", k.errors.load(Ordering::Relaxed)),
+            ] {
+                request_samples.push((vec![("kind", *name), ("outcome", outcome)], count as f64));
+            }
+        }
+        let borrowed: Vec<(&[(&str, &str)], f64)> = request_samples
+            .iter()
+            .map(|(labels, v)| (labels.as_slice(), *v))
+            .collect();
+        prom.counter(
+            "samm_requests_total",
+            "Requests served, by kind and outcome (hit/miss/overbudget/error).",
+            &borrowed,
+        );
+        prom.counter(
+            "samm_monitoring_requests_total",
+            "metrics / metrics_prom requests (excluded from samm_requests_total).",
+            &[(&[], self.monitoring.load(Ordering::Relaxed) as f64)],
+        );
+        prom.counter(
+            "samm_overloaded_total",
+            "Connections rejected because the accept queue was full.",
+            &[(&[], overloaded as f64)],
+        );
+        prom.gauge(
+            "samm_queue_depth",
+            "Accepted connections waiting for a worker.",
+            &[(&[], self.queue_depth.load(Ordering::Relaxed) as f64)],
+        );
+        prom.gauge(
+            "samm_uptime_seconds",
+            "Seconds since the server started.",
+            &[(&[], self.started.elapsed().as_secs_f64())],
+        );
+
+        // Latency histograms, one series per (kind, outcome) with work.
+        let series: Vec<(Vec<(&str, &str)>, HistogramSnapshot)> = KIND_NAMES
+            .iter()
+            .zip(&self.kinds)
+            .flat_map(|(name, k)| {
+                [
+                    ("hit", k.hit.snapshot()),
+                    ("miss", k.miss.snapshot()),
+                    ("overbudget", k.overbudget.snapshot()),
+                ]
+                .into_iter()
+                .filter(|(_, snap)| snap.count > 0)
+                .map(|(outcome, snap)| (vec![("kind", *name), ("outcome", outcome)], snap))
+                .collect::<Vec<_>>()
+            })
+            .collect();
+        let borrowed: Vec<(&[(&str, &str)], &HistogramSnapshot)> = series
+            .iter()
+            .map(|(labels, snap)| (labels.as_slice(), snap))
+            .collect();
+        prom.histogram_nanos(
+            "samm_request_latency_seconds",
+            "Request latency by kind and outcome.",
+            &LATENCY_LE_NANOS,
+            &borrowed,
+        );
+
+        prom.counter(
+            "samm_cache_hits_total",
+            "Enumeration-cache lookups answered from the cache.",
+            &[(&[], cache.hits as f64)],
+        );
+        prom.counter(
+            "samm_cache_misses_total",
+            "Enumeration-cache lookups that ran fresh.",
+            &[(&[], cache.misses as f64)],
+        );
+        prom.counter(
+            "samm_cache_evictions_total",
+            "Enumeration-cache entries evicted.",
+            &[(&[], cache.evictions as f64)],
+        );
+        prom.counter(
+            "samm_cache_insertions_total",
+            "Enumeration-cache entries inserted.",
+            &[(&[], cache.insertions as f64)],
+        );
+        prom.gauge(
+            "samm_cache_entries",
+            "Enumeration-cache entries resident.",
+            &[(&[], cache.entries as f64)],
+        );
+
+        let obs = self.obs_agg.snapshot();
+        prom.counter(
+            "samm_closure_rule_applications_total",
+            "Store Atomicity closure-rule edge insertions (paper Figure 6), by rule.",
+            &[
+                (&[("rule", "a")], obs.rule_a as f64),
+                (&[("rule", "b")], obs.rule_b as f64),
+                (&[("rule", "c")], obs.rule_c as f64),
+            ],
+        );
+        prom.counter(
+            "samm_closure_rounds_total",
+            "Store Atomicity fixpoint rounds across fresh enumerations.",
+            &[(&[], obs.closure_rounds as f64)],
+        );
+        prom.counter(
+            "samm_candidate_calls_total",
+            "candidates(L) queries across fresh enumerations.",
+            &[(&[], obs.candidate_calls as f64)],
+        );
+        prom.counter(
+            "samm_candidate_stores_total",
+            "Candidate stores returned across fresh enumerations.",
+            &[(&[], obs.candidate_stores as f64)],
+        );
+        prom.counter(
+            "samm_enum_explored_total",
+            "Behaviours explored by fresh enumerations.",
+            &[(&[], self.enum_explored.load(Ordering::Relaxed) as f64)],
+        );
+        prom.counter(
+            "samm_enum_forks_total",
+            "Forks attempted by fresh enumerations.",
+            &[(&[], self.enum_forks.load(Ordering::Relaxed) as f64)],
+        );
+        prom.counter(
+            "samm_enum_deduped_total",
+            "Forks discarded as duplicates by fresh enumerations.",
+            &[(&[], self.enum_deduped.load(Ordering::Relaxed) as f64)],
+        );
+
+        prom.counter(
+            "samm_slow_queries_total",
+            "Requests at or over the slow-query threshold.",
+            &[(&[], self.slow_total.load(Ordering::Relaxed) as f64)],
+        );
+        let last = self
+            .last_slow_id
+            .lock()
+            .expect("slow id poisoned")
+            .clone()
+            .unwrap_or_default();
+        prom.gauge(
+            "samm_slow_last_request_info",
+            "Id of the most recent slow query (always 1; the id is the label).",
+            &[(&[("id", last.as_str())], 1.0)],
+        );
+        prom.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samm_core::telemetry::prom;
+
+    #[test]
+    fn classify_reads_responses() {
+        let hit = Json::obj([("ok", Json::Bool(true)), ("cache_hit", Json::Bool(true))]);
+        let miss = Json::obj([("ok", Json::Bool(true)), ("cache_hit", Json::Bool(false))]);
+        let fresh = Json::obj([("ok", Json::Bool(true))]);
+        let over = Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::obj([("kind", Json::str("overbudget"))])),
+        ]);
+        let other = Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::obj([("kind", Json::str("unknown-test"))])),
+        ]);
+        assert_eq!(ReqOutcome::classify(&hit), ReqOutcome::Hit);
+        assert_eq!(ReqOutcome::classify(&miss), ReqOutcome::Miss);
+        assert_eq!(ReqOutcome::classify(&fresh), ReqOutcome::Miss);
+        assert_eq!(ReqOutcome::classify(&over), ReqOutcome::Overbudget);
+        assert_eq!(ReqOutcome::classify(&other), ReqOutcome::Error);
+    }
+
+    #[test]
+    fn exposition_passes_the_checker() {
+        let telemetry = Telemetry::default();
+        telemetry.record(0, ReqOutcome::Miss, Duration::from_millis(3));
+        telemetry.record(0, ReqOutcome::Hit, Duration::from_micros(5));
+        telemetry.record(1, ReqOutcome::Overbudget, Duration::from_millis(40));
+        telemetry.record(2, ReqOutcome::Error, Duration::from_micros(1));
+        let text = telemetry.render_prom(7, &CacheStats::default());
+        let summary = prom::check(&text).expect("valid exposition");
+        for family in [
+            "samm_requests_total",
+            "samm_monitoring_requests_total",
+            "samm_overloaded_total",
+            "samm_queue_depth",
+            "samm_request_latency_seconds",
+            "samm_cache_hits_total",
+            "samm_closure_rule_applications_total",
+            "samm_slow_queries_total",
+            "samm_slow_last_request_info",
+        ] {
+            assert!(summary.has_family(family), "missing {family}:\n{text}");
+        }
+        assert!(text.contains("samm_overloaded_total 7"));
+    }
+
+    #[test]
+    fn fold_stats_aggregates_obs() {
+        use samm_core::obs::ObsStats;
+        let telemetry = Telemetry::default();
+        let stats = EnumStats {
+            explored: 5,
+            forks: 9,
+            deduped: 2,
+            obs: Some(ObsStats {
+                rule_a: 3,
+                rule_b: 1,
+                rule_c: 4,
+                ..ObsStats::default()
+            }),
+            ..EnumStats::default()
+        };
+        telemetry.fold_stats(&stats);
+        telemetry.fold_stats(&stats);
+        let snap = telemetry.obs_agg.snapshot();
+        assert_eq!(snap.rule_a, 6);
+        assert_eq!(snap.rule_b, 2);
+        assert_eq!(snap.rule_c, 8);
+        assert_eq!(telemetry.enum_forks.load(Ordering::Relaxed), 18);
+        assert_eq!(telemetry.enum_deduped.load(Ordering::Relaxed), 4);
+    }
+}

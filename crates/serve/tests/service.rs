@@ -87,8 +87,12 @@ fn every_request_kind_round_trips() {
 
     let metrics = client.request_raw(r#"{"kind":"metrics"}"#).unwrap();
     assert!(ok(&metrics), "{metrics}");
-    assert!(metrics.get("requests").and_then(Json::as_u64).unwrap() >= 6);
+    // The five service requests above — the metrics request itself is
+    // monitoring traffic and must not inflate `requests`.
+    assert_eq!(metrics.get("requests").and_then(Json::as_u64), Some(5));
+    assert_eq!(metrics.get("monitoring").and_then(Json::as_u64), Some(1));
     assert!(metrics.get("cache").is_some());
+    assert!(metrics.get("telemetry").is_some());
 
     handle.shutdown().unwrap();
 }

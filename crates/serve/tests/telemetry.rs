@@ -1,0 +1,159 @@
+//! End-to-end telemetry tests over real sockets: a client-sent request
+//! id must round-trip into the response, the slow-query JSONL log, and
+//! the Prometheus exposition — and the `--prom-addr` plain-HTTP
+//! listener must serve a checker-clean exposition.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use samm_core::telemetry::prom;
+use samm_serve::client::Client;
+use samm_serve::json::Json;
+use samm_serve::server::{self, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn scrape(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http header/body");
+    (head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn request_ids_round_trip_into_response_slow_log_and_exposition() {
+    let dir = std::env::temp_dir().join(format!("samm-telemetry-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let slow_path = dir.join("slow.jsonl");
+    let _ = std::fs::remove_file(&slow_path);
+
+    let handle = server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(5),
+        prom_addr: Some("127.0.0.1:0".to_owned()),
+        slow_log: Some(slow_path.clone()),
+        // Zero threshold: every latency-tracked request is "slow", so
+        // the test is deterministic.
+        slow_threshold: Duration::ZERO,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let prom_addr = handle.prom_addr().expect("prom listener bound");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+
+    // A server-assigned id first: the "r<N>" scheme.
+    let anonymous = client
+        .request_raw(r#"{"kind":"enumerate","test":"MP","model":"SC"}"#)
+        .unwrap();
+    assert!(ok(&anonymous), "{anonymous}");
+    let assigned = anonymous.get("id").and_then(Json::as_str).unwrap();
+    assert!(assigned.starts_with('r'), "server id: {assigned}");
+
+    // Then a client-chosen id, echoed verbatim.
+    let tagged = client
+        .request_raw(r#"{"kind":"enumerate","test":"SB","model":"TSO","id":"client-77"}"#)
+        .unwrap();
+    assert!(ok(&tagged), "{tagged}");
+    assert_eq!(tagged.get("id").and_then(Json::as_str), Some("client-77"));
+
+    // The slow log (threshold zero) carries both requests, ids intact.
+    let log = std::fs::read_to_string(&slow_path).unwrap();
+    assert!(
+        log.lines()
+            .any(|l| l.contains(&format!("\"id\":\"{assigned}\""))),
+        "slow log must carry the server-assigned id:\n{log}"
+    );
+    let tagged_line = log
+        .lines()
+        .find(|l| l.contains("\"id\":\"client-77\""))
+        .unwrap_or_else(|| panic!("slow log must carry the client id:\n{log}"));
+    assert!(tagged_line.contains("\"kind\":\"enumerate\""));
+    assert!(tagged_line.contains("\"outcome\":\"miss\""));
+
+    // The HTTP exposition is checker-clean and names the last slow
+    // request — the client-chosen id.
+    let (head, body) = scrape(prom_addr, "/metrics");
+    assert!(head.contains(" 200 "), "{head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    let summary = prom::check(&body).expect("valid exposition");
+    assert!(summary.has_family("samm_request_latency_seconds"));
+    assert!(summary.has_family("samm_slow_queries_total"));
+    assert!(
+        body.contains("samm_slow_last_request_info{id=\"client-77\"} 1"),
+        "exposition must name the last slow request:\n{body}"
+    );
+    // Both enumerations ran fresh: the miss histogram counted them.
+    assert!(
+        body.contains("samm_request_latency_seconds_count{kind=\"enumerate\",outcome=\"miss\"} 2")
+    );
+
+    // The wire-level metrics_prom answer carries the same exposition
+    // (modulo counters that moved), also checker-clean.
+    let wire = client.request_raw(r#"{"kind":"metrics_prom"}"#).unwrap();
+    assert!(ok(&wire), "{wire}");
+    let text = wire.get("text").and_then(Json::as_str).unwrap();
+    let summary = prom::check(text).expect("valid wire exposition");
+    assert!(summary.has_family("samm_requests_total"));
+
+    // Unknown paths 404 without killing the listener.
+    let (head, _) = scrape(prom_addr, "/nope");
+    assert!(head.contains(" 404 "), "{head}");
+    let (head, _) = scrape(prom_addr, "/metrics");
+    assert!(head.contains(" 200 "), "{head}");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn monitoring_traffic_never_reaches_the_request_histograms() {
+    let handle = server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    for _ in 0..5 {
+        let metrics = client.request_raw(r#"{"kind":"metrics"}"#).unwrap();
+        assert!(ok(&metrics), "{metrics}");
+    }
+    let metrics = client.request_raw(r#"{"kind":"metrics"}"#).unwrap();
+    assert_eq!(metrics.get("requests").and_then(Json::as_u64), Some(0));
+    assert_eq!(metrics.get("monitoring").and_then(Json::as_u64), Some(6));
+    // No latency-tracked kind saw any traffic.
+    let kinds = metrics
+        .get("telemetry")
+        .and_then(|t| t.get("kinds"))
+        .unwrap();
+    if let Json::Obj(map) = kinds {
+        for (name, k) in map {
+            for field in ["hit", "miss", "overbudget", "errors"] {
+                assert_eq!(
+                    k.get(field).and_then(Json::as_u64),
+                    Some(0),
+                    "{name}.{field}"
+                );
+            }
+        }
+    } else {
+        panic!("kinds must be an object");
+    }
+    handle.shutdown().unwrap();
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the telemetry histogram: merging per-thread
+//! snapshots is order-independent and exactly equals recording the
+//! combined stream, and every quantile stays within the documented
+//! relative-error bound of the exact sample quantile.
+
+use proptest::prelude::*;
+
+use samm::core::telemetry::{Histogram, HistogramSnapshot};
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Nearest-rank percentile on a sorted slice — the exact oracle.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_order_independent(
+        parts in prop::collection::vec(
+            prop::collection::vec(0u64..(1 << 42), 0..200),
+            1..6,
+        ),
+        permutation_seed in 0usize..720,
+    ) {
+        let snaps: Vec<HistogramSnapshot> =
+            parts.iter().map(|p| record_all(p)).collect();
+
+        // Merge in index order...
+        let mut in_order = HistogramSnapshot::default();
+        for snap in &snaps {
+            in_order.merge(snap);
+        }
+        // ...and in a permuted order derived from the seed.
+        let mut indices: Vec<usize> = (0..snaps.len()).collect();
+        let mut permuted = HistogramSnapshot::default();
+        let mut s = permutation_seed;
+        while !indices.is_empty() {
+            let pick = s % indices.len();
+            s = s / 7 + 13;
+            permuted.merge(&snaps[indices.swap_remove(pick)]);
+        }
+        prop_assert_eq!(&in_order, &permuted);
+
+        // Merging per-part snapshots equals one histogram fed the
+        // concatenated stream — the claim that makes per-thread
+        // recording sound.
+        let combined: Vec<u64> = parts.concat();
+        prop_assert_eq!(&in_order, &record_all(&combined));
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_error_bound(
+        values in prop::collection::vec(0u64..(1 << 42), 1..500),
+        qs_millis in prop::collection::vec(0u64..1000, 1..8),
+    ) {
+        let snap = record_all(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in qs_millis.into_iter().map(|m| m as f64 / 1000.0) {
+            let exact = exact_percentile(&values, q);
+            let approx = snap.quantile(q);
+            // The estimate is the midpoint of the bucket holding the
+            // rank-th sample; buckets are at most RELATIVE_ERROR of
+            // their lower bound wide (exact below 16, hence the +1).
+            let bound = exact as f64 * Histogram::RELATIVE_ERROR + 1.0;
+            prop_assert!(
+                (approx as f64 - exact as f64).abs() <= bound,
+                "q={} exact={} approx={} bound={}", q, exact, approx, bound
+            );
+        }
+        // The extremes are exact.
+        prop_assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+        prop_assert_eq!(snap.max, *values.last().unwrap());
+        let total: u64 = values.iter().sum();
+        prop_assert_eq!(snap.sum, total);
+        prop_assert_eq!(snap.count, values.len() as u64);
+    }
+}
