@@ -18,12 +18,14 @@
 //! is not serializable — impossible during non-speculative enumeration of a
 //! store-atomic model, and the rollback trigger for speculation.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::time::Instant;
 
+use crate::bitset::BitSet;
 use crate::error::CycleError;
 use crate::graph::ExecutionGraph;
-use crate::ids::NodeId;
+use crate::ids::{Addr, NodeId};
 use crate::obs::Obs;
 
 /// Which of the paper's Figure 6 closure rules demanded an edge.
@@ -75,43 +77,119 @@ pub fn enforce_observed(
     graph: &mut ExecutionGraph,
     obs: Option<&Obs>,
 ) -> Result<usize, CycleError> {
-    let start = obs.map(|_| Instant::now());
-    let mut inserted = 0;
-    let result = loop {
-        if let Some(o) = obs {
-            Obs::add(&o.closure_rounds, 1);
+    SCRATCH.with(|cell| {
+        let mut borrow = cell.borrow_mut();
+        let scratch = &mut *borrow;
+        let start = obs.map(|_| Instant::now());
+
+        // Snapshots that are invariant across rounds: the closure only adds
+        // `@` edges, never nodes or resolutions, so the resolved loads and
+        // the per-address store lists can be collected once instead of per
+        // round (this sits on the per-fork hot path of both engines). One
+        // pass over the graph gathers both loads and stores; the per-addr
+        // ranges then come from the small store list, not more node scans.
+        scratch.loads.clear();
+        scratch.raw_stores.clear();
+        for (id, n) in graph.iter() {
+            if n.is_load() && n.is_resolved() {
+                scratch.loads.push((
+                    id,
+                    n.source().expect("resolved load has a source"),
+                    n.addr().expect("resolved load has an address"),
+                ));
+            }
+            if n.is_store() {
+                if let Some(addr) = n.addr() {
+                    scratch.raw_stores.push((addr, id));
+                }
+            }
         }
-        match enforce_round(graph, obs) {
-            Ok(0) => break Ok(inserted),
-            Ok(round) => inserted += round,
-            Err(e) => break Err(e),
+        scratch.store_ranges.clear();
+        scratch.stores.clear();
+        for i in 0..scratch.loads.len() {
+            let addr = scratch.loads[i].2;
+            if !scratch.store_ranges.iter().any(|&(a, _, _)| a == addr) {
+                let from = scratch.stores.len();
+                scratch.stores.extend(
+                    scratch
+                        .raw_stores
+                        .iter()
+                        .filter(|&&(a, _)| a == addr)
+                        .map(|&(_, id)| id),
+                );
+                scratch
+                    .store_ranges
+                    .push((addr, from, scratch.stores.len()));
+            }
         }
-    };
-    if let (Some(o), Some(t)) = (obs, start) {
-        Obs::add(&o.closure_nanos, t.elapsed().as_nanos() as u64);
-    }
-    result
+
+        let mut inserted = 0;
+        let result = loop {
+            if let Some(o) = obs {
+                Obs::add(&o.closure_rounds, 1);
+            }
+            match enforce_round(graph, obs, scratch) {
+                Ok(0) => break Ok(inserted),
+                Ok(round) => inserted += round,
+                Err(e) => break Err(e),
+            }
+        };
+        if let (Some(o), Some(t)) = (obs, start) {
+            Obs::add(&o.closure_nanos, t.elapsed().as_nanos() as u64);
+        }
+        result
+    })
+}
+
+/// Reusable per-thread buffers for [`enforce_observed`]: the loop-invariant
+/// load/store snapshots and rule c's intersection sets. Thread-local so the
+/// serial and rayon-parallel enumerators each get an allocation-free
+/// closure without threading state through every caller; `enforce_observed`
+/// never re-enters itself, so the `RefCell` borrow cannot conflict.
+#[derive(Default)]
+struct EnforceScratch {
+    /// Resolved loads: (load, source, addr).
+    loads: Vec<(NodeId, NodeId, Addr)>,
+    /// Every store with a known address, in node order: `(addr, store)`.
+    raw_stores: Vec<(Addr, NodeId)>,
+    /// Per-address `(addr, from, to)` ranges into `stores`, in first-seen
+    /// load order.
+    store_ranges: Vec<(Addr, usize, usize)>,
+    /// Flat concatenation of the per-address store lists.
+    stores: Vec<NodeId>,
+    ancestors: BitSet,
+    descendants: BitSet,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EnforceScratch> = RefCell::default();
 }
 
 /// One pass over the three rules; returns how many new edges were added.
-fn enforce_round(graph: &mut ExecutionGraph, obs: Option<&Obs>) -> Result<usize, CycleError> {
+fn enforce_round(
+    graph: &mut ExecutionGraph,
+    obs: Option<&Obs>,
+    scratch: &mut EnforceScratch,
+) -> Result<usize, CycleError> {
+    let EnforceScratch {
+        loads,
+        raw_stores: _,
+        store_ranges,
+        stores: all_stores,
+        ancestors,
+        descendants,
+    } = scratch;
+    let loads: &[(NodeId, NodeId, Addr)] = loads;
     let mut added = 0;
 
-    // Snapshot of the resolved loads: (load, source, addr).
-    let loads: Vec<(NodeId, NodeId)> = graph
-        .iter()
-        .filter(|(_, n)| n.is_load() && n.is_resolved())
-        .map(|(id, n)| (id, n.source().expect("resolved load has a source")))
-        .collect();
-
     // Rules a and b.
-    for &(load, source) in &loads {
-        let addr = graph
-            .node(load)
-            .addr()
-            .expect("resolved load has an address");
-        let stores: Vec<NodeId> = graph.stores_to(addr).collect();
-        for store in stores {
+    for &(load, source, addr) in loads {
+        let (_, from, to) = *store_ranges
+            .iter()
+            .find(|&&(a, _, _)| a == addr)
+            .expect("store range collected for every load address");
+        let stores: &[NodeId] = &all_stores[from..to];
+        for &store in stores {
             if store == source {
                 continue;
             }
@@ -142,19 +220,24 @@ fn enforce_round(graph: &mut ExecutionGraph, obs: Option<&Obs>) -> Result<usize,
     // Rule c: all pairs of same-address loads with distinct sources.
     for i in 0..loads.len() {
         for j in (i + 1)..loads.len() {
-            let (l1, s1) = loads[i];
-            let (l2, s2) = loads[j];
+            let (l1, s1, a1) = loads[i];
+            let (l2, s2, a2) = loads[j];
             if s1 == s2 {
                 continue;
             }
-            if graph.node(l1).addr() != graph.node(l2).addr() {
+            if a1 != a2 {
                 continue;
             }
-            let ancestors = graph.order().common_ancestors(l1, l2);
+            let order = graph.order();
+            order
+                .predecessors(l1)
+                .intersection_into(order.predecessors(l2), ancestors);
             if ancestors.is_empty() {
                 continue;
             }
-            let descendants = graph.order().common_descendants(s1, s2);
+            order
+                .successors(s1)
+                .intersection_into(order.successors(s2), descendants);
             if descendants.is_empty() {
                 continue;
             }

@@ -102,13 +102,23 @@ impl BitSet {
         if other.words.len() > self.words.len() {
             self.words.resize(other.words.len(), 0);
         }
-        let mut changed = false;
+        // Accumulate newly-set bits word-wise instead of branching per
+        // word: the loop body is a straight or/and/xor chain the compiler
+        // can vectorize across the row.
+        let mut added = 0u64;
         for (dst, &src) in self.words.iter_mut().zip(other.words.iter()) {
-            let before = *dst;
+            added |= src & !*dst;
             *dst |= src;
-            changed |= *dst != before;
         }
-        changed
+        added != 0
+    }
+
+    /// Returns `true` when every element of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// Keeps only elements also present in `other`.
@@ -125,12 +135,43 @@ impl BitSet {
         out
     }
 
+    /// Writes the intersection of two sets into `out`, reusing its
+    /// storage (for hot loops that intersect many pairs).
+    pub fn intersection_into(&self, other: &BitSet, out: &mut BitSet) {
+        out.words.clear();
+        out.words.extend(
+            self.words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b),
+        );
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing its storage.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// Makes `self` the set encoded by `words`, reusing its storage.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        self.words.clear();
+        self.words.extend_from_slice(words);
+    }
+
     /// Returns `true` when `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
         self.words
             .iter()
             .zip(other.words.iter())
             .any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns the backing words, least-significant word first. Trailing
+    /// zero words may or may not be present; callers must not read
+    /// meaning into the slice length.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates over the elements in increasing order.
@@ -140,6 +181,82 @@ impl BitSet {
             word_index: 0,
             current: self.words.first().copied().unwrap_or(0),
         }
+    }
+}
+
+/// A borrowed, read-only view of a bit set backed by a word slice —
+/// the row type of the arena-layout [`crate::closure::Closure`], where
+/// per-node rows are slices of one flat matrix rather than owned
+/// allocations. Mirrors the read-only half of [`BitSet`]'s API.
+#[derive(Clone, Copy)]
+pub struct BitSetRef<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> BitSetRef<'a> {
+    /// Wraps a word slice (least-significant word first).
+    pub fn from_words(words: &'a [u64]) -> Self {
+        BitSetRef { words }
+    }
+
+    /// The backing words. Like [`BitSet::words`], trailing zero words
+    /// carry no meaning.
+    pub fn words(self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns `true` when `bit` is in the set.
+    #[inline]
+    pub fn contains(self, bit: usize) -> bool {
+        self.words
+            .get(bit / WORD_BITS)
+            .is_some_and(|w| w >> (bit % WORD_BITS) & 1 != 0)
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Writes the intersection with `other` into `out`, reusing its
+    /// storage.
+    pub fn intersection_into(self, other: BitSetRef<'_>, out: &mut BitSet) {
+        out.words.clear();
+        out.words.extend(
+            self.words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b),
+        );
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(self) -> Iter<'a> {
+        Iter {
+            words: self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSetRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for BitSetRef<'a> {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
     }
 }
 
@@ -278,6 +395,65 @@ mod tests {
         let s: BitSet = [1usize].into_iter().collect();
         assert_eq!(format!("{s:?}"), "{1}");
         assert_eq!(format!("{:?}", BitSet::new()), "{}");
+    }
+
+    /// Exhaustive oracle over a small universe: every pair of subsets of
+    /// `{0..6}` (placed at a word-straddling offset) must agree with the
+    /// reference `BTreeSet` semantics for union, intersection, and subset.
+    #[test]
+    fn exhaustive_small_universe_matches_btreeset_oracle() {
+        use std::collections::BTreeSet;
+        // Offset 61 puts the universe across the first word boundary, so
+        // the word-wise fast paths see mixed word counts.
+        for offset in [0usize, 61] {
+            for a_bits in 0u32..64 {
+                for b_bits in 0u32..64 {
+                    let expand = |bits: u32| -> BTreeSet<usize> {
+                        (0..6)
+                            .filter(|i| bits >> i & 1 == 1)
+                            .map(|i| i + offset)
+                            .collect()
+                    };
+                    let oa = expand(a_bits);
+                    let ob = expand(b_bits);
+                    let a: BitSet = oa.iter().copied().collect();
+                    let b: BitSet = ob.iter().copied().collect();
+
+                    let mut u = a.clone();
+                    let changed = u.union_with(&b);
+                    let ou: BTreeSet<usize> = oa.union(&ob).copied().collect();
+                    assert_eq!(u.iter().collect::<BTreeSet<_>>(), ou);
+                    assert_eq!(changed, ou != oa, "union change flag ({a_bits},{b_bits})");
+
+                    let oi: BTreeSet<usize> = oa.intersection(&ob).copied().collect();
+                    assert_eq!(a.intersection(&b).iter().collect::<BTreeSet<_>>(), oi);
+                    assert_eq!(a.intersects(&b), !oi.is_empty());
+
+                    assert_eq!(
+                        a.is_subset(&b),
+                        oa.is_subset(&ob),
+                        "subset ({a_bits},{b_bits})"
+                    );
+                    assert_eq!(a.len(), oa.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_subset_handles_length_mismatch() {
+        let small: BitSet = [1usize].into_iter().collect();
+        let large: BitSet = [1usize, 700].into_iter().collect();
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(BitSet::new().is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn words_exposes_backing_storage() {
+        let s: BitSet = [0usize, 64].into_iter().collect();
+        assert_eq!(s.words(), &[1u64, 1u64]);
     }
 
     #[test]

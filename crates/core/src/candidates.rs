@@ -13,7 +13,7 @@
 //! possibility"), so [`load_resolvable`] implements that gate.
 
 use crate::graph::ExecutionGraph;
-use crate::ids::NodeId;
+use crate::ids::{Addr, NodeId};
 
 /// Returns `true` when load `L` may be resolved now: its address is known,
 /// it is still unresolved, and every load `@`-preceding it has been
@@ -48,15 +48,86 @@ pub fn load_resolvable(graph: &ExecutionGraph, load: NodeId) -> bool {
 ///
 /// Panics if `load` is not an address-resolved, unresolved load.
 pub fn candidates(graph: &ExecutionGraph, load: NodeId) -> Vec<NodeId> {
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    candidates_into(graph, load, &mut scratch, &mut out);
+    out
+}
+
+/// [`candidates`] with caller-provided buffers, for enumeration hot loops
+/// that compute candidate sets for many loads per explored behaviour.
+/// `scratch` and `out` are cleared and reused; `out` receives the stores
+/// in node-id order.
+///
+/// # Panics
+///
+/// Panics if `load` is not an address-resolved, unresolved load.
+pub fn candidates_into(
+    graph: &ExecutionGraph,
+    load: NodeId,
+    scratch: &mut Vec<NodeId>,
+    out: &mut Vec<NodeId>,
+) {
     let node = graph.node(load);
     assert!(node.is_load(), "{load} is not a load");
     assert!(!node.is_resolved(), "{load} is already resolved");
     let addr = node.addr().expect("candidates require a resolved address");
+    scratch.clear();
+    scratch.extend(graph.stores_to(addr));
+    // Condition 1 via a predecessor-set walk per candidate store.
+    candidates_core(graph, load, scratch, out, |store| {
+        graph.predecessors(store).iter().map(NodeId::new).any(|p| {
+            let pn = graph.node(p);
+            pn.is_memory() && !pn.is_resolved()
+        })
+    });
+}
 
-    let same_addr_stores: Vec<NodeId> = graph.stores_to(addr).collect();
-    let mut out = Vec::new();
+/// [`candidates_into`] with the graph's unresolved memory operations and
+/// per-address store index precomputed by the caller (one scan shared
+/// across every load of a behaviour, see `Behavior::completeness_scan`).
+/// Condition 1 becomes "no unresolved memory operation precedes S" — a
+/// handful of O(1) reachability bit-tests instead of a predecessor-set
+/// walk per store — and the same-address store list comes from the
+/// prebuilt index instead of a graph scan per load.
+pub fn candidates_gated_into(
+    graph: &ExecutionGraph,
+    load: NodeId,
+    unresolved_mem: &[NodeId],
+    all_stores: &[(Addr, NodeId)],
+    scratch: &mut Vec<NodeId>,
+    out: &mut Vec<NodeId>,
+) {
+    let node = graph.node(load);
+    assert!(node.is_load(), "{load} is not a load");
+    assert!(!node.is_resolved(), "{load} is already resolved");
+    let addr = node.addr().expect("candidates require a resolved address");
+    scratch.clear();
+    scratch.extend(
+        all_stores
+            .iter()
+            .filter(|&&(a, _)| a == addr)
+            .map(|&(_, id)| id),
+    );
+    candidates_core(graph, load, scratch, out, |store| {
+        // `store` itself is resolved, so `u == store` never occurs.
+        unresolved_mem.iter().any(|&u| graph.precedes(u, store))
+    });
+}
 
-    'next_store: for &store in &same_addr_stores {
+/// Shared tail of the candidate computation: `same_addr_stores` already
+/// holds the same-address stores in node order; `blocked` implements
+/// condition 1.
+fn candidates_core(
+    graph: &ExecutionGraph,
+    load: NodeId,
+    same_addr_stores: &[NodeId],
+    out: &mut Vec<NodeId>,
+    blocked: impl Fn(NodeId) -> bool,
+) {
+    out.clear();
+
+    'next_store: for &store in same_addr_stores {
         let s = graph.node(store);
         // The candidate itself must have executed: address and value known.
         if !s.is_resolved() {
@@ -67,21 +138,17 @@ pub fn candidates(graph: &ExecutionGraph, load: NodeId) -> Vec<NodeId> {
             continue;
         }
         // Condition 1: all memory operations @-preceding S are resolved.
-        for p in graph.predecessors(store).iter().map(NodeId::new) {
-            let pn = graph.node(p);
-            if pn.is_memory() && !pn.is_resolved() {
-                continue 'next_store;
-            }
+        if blocked(store) {
+            continue 'next_store;
         }
         // Condition 2: S must not have been overwritten between S and L.
-        for &other in &same_addr_stores {
+        for &other in same_addr_stores {
             if other != store && graph.precedes(store, other) && graph.precedes(other, load) {
                 continue 'next_store;
             }
         }
         out.push(store);
     }
-    out
 }
 
 #[cfg(test)]

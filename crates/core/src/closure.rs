@@ -5,7 +5,7 @@
 //! (source) edges, and Store Atomicity edges — and asking reachability
 //! questions such as "is there a store between `source(L)` and `L`?".
 //! Keeping the full strict transitive closure in per-node predecessor and
-//! successor bit sets makes every such query a constant-time bit test and
+//! successor bit rows makes every such query a constant-time bit test and
 //! keeps edge insertion at `O(n²/64)` worst case, which is ideal for the
 //! litmus-scale graphs this framework works on.
 //!
@@ -13,12 +13,28 @@
 //! [`CycleError`]; a cycle in `@` means the execution is not serializable
 //! (used to discard speculative forks, paper section 5.2).
 
-use crate::bitset::BitSet;
+use std::cell::RefCell;
+
+use crate::bitset::{BitSet, BitSetRef};
 use crate::error::CycleError;
 use crate::ids::NodeId;
 
+const WORD_BITS: usize = 64;
+
+thread_local! {
+    /// Scratch frontier sets for [`Closure::add_edge`] (down, up).
+    static EDGE_SCRATCH: RefCell<(BitSet, BitSet)> = RefCell::default();
+}
+
 /// A strict partial order over dense node indices, closed under
 /// transitivity, with incremental edge insertion and cycle detection.
+///
+/// Rows live in one flat row-major matrix (`row_words` words per node)
+/// rather than per-node allocations: cloning a `Closure` — which happens
+/// on every enumeration fork — is two `memcpy`s with no per-row
+/// allocation or reference-count traffic, and `add_edge` updates rows in
+/// place. At litmus scale a whole matrix is a few cache lines, so a flat
+/// copy beats any sharing scheme's bookkeeping.
 ///
 /// # Examples
 ///
@@ -35,12 +51,38 @@ use crate::ids::NodeId;
 /// assert!(c.reaches(a, d));
 /// assert!(c.add_edge(d, a).is_err()); // would close a cycle
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Closure {
-    /// `succ[i]` = all `j` with `i @ j` (strict: never contains `i`).
-    succ: Vec<BitSet>,
-    /// `pred[j]` = all `i` with `i @ j` (strict).
-    pred: Vec<BitSet>,
+    /// Number of nodes.
+    n: usize,
+    /// Words per row; rows widen (rarely) when `n` crosses a multiple
+    /// of 64.
+    row_words: usize,
+    /// Row-major `n × row_words` matrix: bit `j` of row `i` means
+    /// `i @ j` (strict: row `i` never contains `i`).
+    succ: Vec<u64>,
+    /// Transpose: bit `i` of row `j` means `i @ j` (strict).
+    pred: Vec<u64>,
+}
+
+impl Clone for Closure {
+    fn clone(&self) -> Self {
+        Closure {
+            n: self.n,
+            row_words: self.row_words,
+            succ: self.succ.clone(),
+            pred: self.pred.clone(),
+        }
+    }
+
+    // Capacity-reusing clone for enumeration fork scratch: `Vec`'s
+    // `clone_from` keeps the matrix allocation when it already fits.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.row_words = source.row_words;
+        self.succ.clone_from(&source.succ);
+        self.pred.clone_from(&source.pred);
+    }
 }
 
 impl Closure {
@@ -51,26 +93,57 @@ impl Closure {
 
     /// Number of nodes in the order.
     pub fn len(&self) -> usize {
-        self.succ.len()
+        self.n
     }
 
     /// Returns `true` when the order has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.succ.is_empty()
+        self.n == 0
     }
 
     /// Adds a fresh, unordered node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId::new(self.succ.len());
-        self.succ.push(BitSet::new());
-        self.pred.push(BitSet::new());
+        let id = NodeId::new(self.n);
+        if self.n == self.row_words * WORD_BITS {
+            self.widen();
+        }
+        self.succ.resize(self.succ.len() + self.row_words, 0);
+        self.pred.resize(self.pred.len() + self.row_words, 0);
+        self.n += 1;
         id
+    }
+
+    /// Grows every row by one word (when node count crosses a multiple
+    /// of 64). Rare: O(n²/64) work amortized over 64 node insertions.
+    fn widen(&mut self) {
+        let old = self.row_words;
+        let new = old + 1;
+        for matrix in [&mut self.succ, &mut self.pred] {
+            let mut widened = Vec::with_capacity((self.n + 1) * new);
+            for row in 0..self.n {
+                widened.extend_from_slice(&matrix[row * old..(row + 1) * old]);
+                widened.push(0);
+            }
+            *matrix = widened;
+        }
+        self.row_words = new;
+    }
+
+    #[inline]
+    fn srow(&self, i: usize) -> &[u64] {
+        &self.succ[i * self.row_words..(i + 1) * self.row_words]
+    }
+
+    #[inline]
+    fn prow(&self, i: usize) -> &[u64] {
+        &self.pred[i * self.row_words..(i + 1) * self.row_words]
     }
 
     /// Returns `true` when `a @ b` (strictly before; `a != b` implied).
     #[inline]
     pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
-        self.succ[a.index()].contains(b.index())
+        let (i, j) = (a.index(), b.index());
+        self.succ[i * self.row_words + j / WORD_BITS] >> (j % WORD_BITS) & 1 != 0
     }
 
     /// Returns `true` when the two nodes are ordered either way.
@@ -81,14 +154,14 @@ impl Closure {
 
     /// All strict successors of `a` (everything `a` precedes).
     #[inline]
-    pub fn successors(&self, a: NodeId) -> &BitSet {
-        &self.succ[a.index()]
+    pub fn successors(&self, a: NodeId) -> BitSetRef<'_> {
+        BitSetRef::from_words(self.srow(a.index()))
     }
 
     /// All strict predecessors of `a` (everything preceding `a`).
     #[inline]
-    pub fn predecessors(&self, a: NodeId) -> &BitSet {
-        &self.pred[a.index()]
+    pub fn predecessors(&self, a: NodeId) -> BitSetRef<'_> {
+        BitSetRef::from_words(self.prow(a.index()))
     }
 
     /// Inserts `from @ to` and re-closes transitively.
@@ -109,28 +182,47 @@ impl Closure {
             return Ok(false);
         }
         // New pairs: (ancestors(from) ∪ {from}) × (descendants(to) ∪ {to}).
-        let mut down = self.succ[to.index()].clone();
-        down.insert(to.index());
-        let mut up = self.pred[from.index()].clone();
-        up.insert(from.index());
+        // The frontier sets live in per-thread scratch (edge insertion is
+        // never re-entrant) so an insert allocates nothing of its own.
+        let rw = self.row_words;
+        EDGE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (down, up) = &mut *scratch;
+            down.copy_from_words(self.srow(to.index()));
+            down.insert(to.index());
+            up.copy_from_words(self.prow(from.index()));
+            up.insert(from.index());
 
-        for a in up.iter() {
-            self.succ[a].union_with(&down);
-        }
-        for d in down.iter() {
-            self.pred[d].union_with(&up);
-        }
+            for a in up.iter() {
+                let row = &mut self.succ[a * rw..(a + 1) * rw];
+                for (dst, &src) in row.iter_mut().zip(down.words()) {
+                    *dst |= src;
+                }
+            }
+            for d in down.iter() {
+                let row = &mut self.pred[d * rw..(d + 1) * rw];
+                for (dst, &src) in row.iter_mut().zip(up.words()) {
+                    *dst |= src;
+                }
+            }
+        });
         Ok(true)
     }
 
     /// Common strict ancestors of `a` and `b`.
     pub fn common_ancestors(&self, a: NodeId, b: NodeId) -> BitSet {
-        self.pred[a.index()].intersection(&self.pred[b.index()])
+        let mut out = BitSet::new();
+        self.predecessors(a)
+            .intersection_into(self.predecessors(b), &mut out);
+        out
     }
 
     /// Common strict descendants of `a` and `b`.
     pub fn common_descendants(&self, a: NodeId, b: NodeId) -> BitSet {
-        self.succ[a.index()].intersection(&self.succ[b.index()])
+        let mut out = BitSet::new();
+        self.successors(a)
+            .intersection_into(self.successors(b), &mut out);
+        out
     }
 
     /// A topological order of all nodes (any one consistent with the order).
@@ -144,7 +236,10 @@ impl Closure {
         while !remaining.is_empty() {
             let before = remaining.len();
             remaining.retain(|&i| {
-                let ready = self.pred[i].iter().all(|p| emitted.contains(p));
+                let ready = self
+                    .predecessors(NodeId::new(i))
+                    .iter()
+                    .all(|p| emitted.contains(p));
                 if ready {
                     emitted.insert(i);
                     out.push(NodeId::new(i));
@@ -164,8 +259,8 @@ impl Closure {
     /// been inserted.
     pub fn encode_pairs(&self, relabel: &[u32], out: &mut Vec<u8>) {
         let mut pairs: Vec<(u32, u32)> = Vec::new();
-        for (i, set) in self.succ.iter().enumerate() {
-            for j in set.iter() {
+        for i in 0..self.n {
+            for j in self.successors(NodeId::new(i)).iter() {
                 pairs.push((relabel[i], relabel[j]));
             }
         }
@@ -342,6 +437,120 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// A clone's matrix is independent storage: edges added to the fork
+    /// never appear in the parent, and vice versa.
+    #[test]
+    fn clone_is_independent_storage() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 4);
+        c.add_edge(v[0], v[1]).unwrap();
+
+        let mut fork = c.clone();
+        fork.add_edge(v[2], v[3]).unwrap();
+        c.add_edge(v[1], v[2]).unwrap();
+
+        assert!(fork.reaches(v[2], v[3]));
+        assert!(!c.reaches(v[2], v[3]));
+        assert!(c.reaches(v[0], v[2]));
+        assert!(!fork.reaches(v[0], v[2]));
+    }
+
+    /// Mutation-after-fork isolation, exhaustively over a small universe:
+    /// for every pair of distinct single edges on 4 nodes, adding one to
+    /// the fork never changes what the parent reaches.
+    #[test]
+    fn fork_mutation_isolation_exhaustive() {
+        let n = 4;
+        for pi in 0..n {
+            for pj in 0..n {
+                if pi == pj {
+                    continue;
+                }
+                let mut parent = Closure::new();
+                let v = ids(&mut parent, n);
+                parent.add_edge(v[pi], v[pj]).unwrap();
+                let snapshot: Vec<Vec<bool>> = (0..n)
+                    .map(|i| (0..n).map(|j| parent.reaches(v[i], v[j])).collect())
+                    .collect();
+                for fi in 0..n {
+                    for fj in 0..n {
+                        if fi == fj {
+                            continue;
+                        }
+                        let mut fork = parent.clone();
+                        let _ = fork.add_edge(v[fi], v[fj]); // may be cyclic; irrelevant
+                        for i in 0..n {
+                            for j in 0..n {
+                                assert_eq!(
+                                    parent.reaches(v[i], v[j]),
+                                    snapshot[i][j],
+                                    "fork edge ({fi},{fj}) leaked into parent at ({i},{j})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge commutativity: applying the same acyclic edge set to forks
+    /// in any order yields the same closed relation.
+    #[test]
+    fn fork_merge_commutativity() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        for _ in 0..30 {
+            let n = rng.gen_range(3..10);
+            let mut base = Closure::new();
+            let v = ids(&mut base, n);
+            // Seed the base with one edge so forks start non-empty.
+            base.add_edge(v[0], v[n - 1]).unwrap();
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            for _ in 0..rng.gen_range(1..2 * n) {
+                let i = rng.gen_range(0..n - 1);
+                let j = rng.gen_range(i + 1..n);
+                edges.push((i, j));
+            }
+            let mut forward = base.clone();
+            for &(i, j) in &edges {
+                forward.add_edge(v[i], v[j]).unwrap();
+            }
+            let mut reversed = base.clone();
+            for &(i, j) in edges.iter().rev() {
+                reversed.add_edge(v[i], v[j]).unwrap();
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        forward.reaches(v[i], v[j]),
+                        reversed.reaches(v[i], v[j]),
+                        "order-dependent closure at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Row widening at the 64-node boundary preserves the relation and
+    /// keeps freshly added nodes unordered.
+    #[test]
+    fn widening_across_word_boundary_preserves_relation() {
+        let mut c = Closure::new();
+        let v = ids(&mut c, 63);
+        for w in v.windows(2) {
+            c.add_edge(w[0], w[1]).unwrap();
+        }
+        // Crossing 64 and 128 nodes forces two widenings.
+        let more = ids(&mut c, 70);
+        assert!(c.reaches(v[0], v[62]));
+        c.add_edge(v[62], more[69]).unwrap();
+        assert!(c.reaches(v[0], more[69]));
+        for &m in &more[..69] {
+            assert!(!c.ordered(v[0], m), "fresh node unexpectedly ordered");
         }
     }
 

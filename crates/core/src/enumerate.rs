@@ -531,11 +531,17 @@ pub fn enumerate(
 ) -> Result<EnumResult, EnumError> {
     let mut stream = behaviors(program, policy, config)?;
     let mut result = EnumResult::default();
+    let mut final_keys: HashSet<Vec<u8>> = HashSet::new();
     for item in &mut stream {
         let behavior = item?;
         result.outcomes.insert(behavior.outcome());
         if config.keep_executions {
             result.executions.push(behavior);
+        } else if !config.dedup {
+            // Executions are dropped, but the distinct count must still
+            // collapse duplicates reached through several resolution
+            // orders.
+            final_keys.insert(behavior.canonical_key());
         }
     }
     result.stats = stream.stats();
@@ -543,12 +549,15 @@ pub fn enumerate(
     // Without dedup, identical complete behaviours are reached through
     // several resolution orders; collapse the count (and the kept
     // executions) so both configurations report the same executions.
-    if !config.dedup && config.keep_executions {
-        let mut final_keys: HashSet<Vec<u8>> = HashSet::new();
-        result
-            .executions
-            .retain(|b| final_keys.insert(b.canonical_key()));
-        result.stats.distinct_executions = result.executions.len();
+    if !config.dedup {
+        if config.keep_executions {
+            result
+                .executions
+                .retain(|b| final_keys.insert(b.canonical_key()));
+            result.stats.distinct_executions = result.executions.len();
+        } else {
+            result.stats.distinct_executions = final_keys.len();
+        }
     }
 
     Ok(result)

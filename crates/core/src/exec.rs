@@ -131,14 +131,19 @@ impl ThreadState {
 ///
 /// Behaviours are cheap-ish to clone; the enumerator forks them at each
 /// load-resolution choice.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Behavior {
     graph: ExecutionGraph,
-    threads: Vec<ThreadState>,
+    /// Copy-on-write: mutated only while generation makes progress, so
+    /// post-generation forks (the enumeration hot path) share one
+    /// allocation with their parent.
+    threads: Arc<Vec<ThreadState>>,
     alias_pairs: Vec<AliasPair>,
-    init_map: BTreeMap<Addr, NodeId>,
+    /// Copy-on-write, like `threads` (mutated only by `ensure_init`).
+    init_map: Arc<BTreeMap<Addr, NodeId>>,
     /// Issue-ordered node lists per program thread (for policy edges).
-    thread_nodes: Vec<Vec<NodeId>>,
+    /// Copy-on-write, like `threads` (mutated only by `emit_node`).
+    thread_nodes: Arc<Vec<Vec<NodeId>>>,
     /// Shared instrumentation counters; `None` (the default) keeps every
     /// observation site at a single null check. Forks share the handle.
     obs: Option<Arc<Obs>>,
@@ -147,23 +152,49 @@ pub struct Behavior {
     trace_id: u64,
 }
 
+impl Clone for Behavior {
+    fn clone(&self) -> Self {
+        Behavior {
+            graph: self.graph.clone(),
+            threads: Arc::clone(&self.threads),
+            alias_pairs: self.alias_pairs.clone(),
+            init_map: Arc::clone(&self.init_map),
+            thread_nodes: Arc::clone(&self.thread_nodes),
+            obs: self.obs.clone(),
+            trace_id: self.trace_id,
+        }
+    }
+
+    // Capacity-reusing clone: forking into a recycled behaviour keeps its
+    // graph allocations instead of paying malloc/free per fork.
+    fn clone_from(&mut self, source: &Self) {
+        self.graph.clone_from(&source.graph);
+        self.threads.clone_from(&source.threads);
+        self.alias_pairs.clone_from(&source.alias_pairs);
+        self.init_map.clone_from(&source.init_map);
+        self.thread_nodes.clone_from(&source.thread_nodes);
+        self.obs.clone_from(&source.obs);
+        self.trace_id = source.trace_id;
+    }
+}
+
 impl Behavior {
     /// Creates the initial behaviour of `program`: empty graph, every
     /// thread at PC 0, plus init stores for the explicitly initialized
     /// addresses. Init stores for other addresses appear lazily as soon as
     /// the address is first used.
     pub fn new(program: &Program) -> Self {
-        let threads = program
+        let threads: Vec<ThreadState> = program
             .threads()
             .iter()
             .map(|t| ThreadState::new(t.reg_count()))
             .collect();
         let mut b = Behavior {
             graph: ExecutionGraph::new(),
-            threads,
+            threads: Arc::new(threads),
             alias_pairs: Vec::new(),
-            init_map: BTreeMap::new(),
-            thread_nodes: vec![Vec::new(); program.threads().len()],
+            init_map: Arc::new(BTreeMap::new()),
+            thread_nodes: Arc::new(vec![Vec::new(); program.threads().len()]),
             obs: None,
             trace_id: 0,
         };
@@ -248,7 +279,7 @@ impl Behavior {
             return id;
         }
         let id = self.graph.add_init_store(0, addr, value);
-        self.init_map.insert(addr, id);
+        Arc::make_mut(&mut self.init_map).insert(addr, id);
         // Initial stores precede every non-init operation.
         let others: Vec<NodeId> = self
             .graph
@@ -283,6 +314,12 @@ impl Behavior {
 
     /// Emits one graph node for thread `thread`, wiring data edges, policy
     /// edges against all earlier nodes of the thread, and init edges.
+    /// Mutable access to one thread's state, unsharing the copy-on-write
+    /// thread vector on first mutation after a fork.
+    fn thread_mut(&mut self, thread: usize) -> &mut ThreadState {
+        &mut Arc::make_mut(&mut self.threads)[thread]
+    }
+
     fn emit_node(
         &mut self,
         policy: &Policy,
@@ -291,7 +328,7 @@ impl Behavior {
     ) -> Result<NodeId, StepError> {
         let index = self.threads[thread].emitted;
         let id = self.graph.add_node(ThreadId::new(thread), index, detail);
-        self.threads[thread].emitted += 1;
+        self.thread_mut(thread).emitted += 1;
 
         // Data edges from node-valued inputs.
         let inputs: Vec<NodeId> = match detail {
@@ -354,12 +391,11 @@ impl Behavior {
         }
 
         // Initial stores precede everything.
-        let inits: Vec<NodeId> = self.init_map.values().copied().collect();
-        for init in inits {
+        for (_, &init) in self.init_map.iter() {
             self.graph.add_edge(init, id, EdgeKind::Init)?;
         }
 
-        self.thread_nodes[thread].push(id);
+        Arc::make_mut(&mut self.thread_nodes)[thread].push(id);
         Ok(id)
     }
 
@@ -411,14 +447,14 @@ impl Behavior {
                         } => (target, fallthrough),
                         _ => unreachable!("blocked_branch points at a branch"),
                     };
-                    self.threads[thread].pc = if taken { target } else { fallthrough };
-                    self.threads[thread].blocked_branch = None;
+                    self.thread_mut(thread).pc = if taken { target } else { fallthrough };
+                    self.thread_mut(thread).blocked_branch = None;
                     changed = true;
                     continue;
                 }
                 let pc = self.threads[thread].pc;
                 if pc >= instrs.len() {
-                    self.threads[thread].halted = true;
+                    self.thread_mut(thread).halted = true;
                     changed = true;
                     break;
                 }
@@ -431,29 +467,29 @@ impl Behavior {
                 match instrs[pc] {
                     Instr::Mov { dst, src } => {
                         let input = self.operand_input(thread, src);
-                        self.threads[thread].bind(dst, input);
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).bind(dst, input);
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::Binop { dst, op, lhs, rhs } => {
                         let lhs = self.operand_input(thread, lhs);
                         let rhs = self.operand_input(thread, rhs);
                         let id =
                             self.emit_node(policy, thread, NodeDetail::Compute { op, lhs, rhs })?;
-                        self.threads[thread].bind(dst, Input::Node(id));
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).bind(dst, Input::Node(id));
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::Load { dst, addr } => {
                         let addr_in = self.operand_input(thread, addr);
                         let id =
                             self.emit_node(policy, thread, NodeDetail::Load { addr_in, dst })?;
-                        self.threads[thread].bind(dst, Input::Node(id));
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).bind(dst, Input::Node(id));
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::Store { addr, val } => {
                         let addr_in = self.operand_input(thread, addr);
                         let val_in = self.operand_input(thread, val);
                         self.emit_node(policy, thread, NodeDetail::Store { addr_in, val_in })?;
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::Rmw { dst, addr, op, src } => {
                         let addr_in = self.operand_input(thread, addr);
@@ -476,12 +512,12 @@ impl Behavior {
                                 dst,
                             },
                         )?;
-                        self.threads[thread].bind(dst, Input::Node(id));
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).bind(dst, Input::Node(id));
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::Fence => {
                         self.emit_node(policy, thread, NodeDetail::Fence)?;
-                        self.threads[thread].pc = pc + 1;
+                        self.thread_mut(thread).pc = pc + 1;
                     }
                     Instr::BranchNz { cond, target } => {
                         let cond = self.operand_input(thread, cond);
@@ -494,14 +530,14 @@ impl Behavior {
                                 fallthrough: pc + 1,
                             },
                         )?;
-                        self.threads[thread].blocked_branch = Some(id);
+                        self.thread_mut(thread).blocked_branch = Some(id);
                         // PC is updated when the branch resolves.
                     }
                     Instr::Jump { target } => {
-                        self.threads[thread].pc = target;
+                        self.thread_mut(thread).pc = target;
                     }
                     Instr::Halt => {
-                        self.threads[thread].halted = true;
+                        self.thread_mut(thread).halted = true;
                     }
                 }
                 changed = true;
@@ -669,14 +705,24 @@ impl Behavior {
         policy: &Policy,
         max_nodes_per_thread: u32,
     ) -> Result<(), StepError> {
+        let mut progressed = false;
         loop {
             let generated = self.generate(program, policy, max_nodes_per_thread)?;
             let executed = self.execute(program)?;
             if !generated && !executed {
                 break;
             }
+            progressed = true;
         }
-        atomicity::enforce_observed(&mut self.graph, self.obs.as_deref())?;
+        // A zero-progress pass means the graph is exactly as the caller
+        // left it: either fresh (no resolved loads, so the atomicity rules
+        // are vacuous) or just closed by `resolve_load`. Both are already
+        // at the fixpoint, so re-running the closure would verify and add
+        // nothing — skip it. This keeps late-stage load resolutions (where
+        // the graph is fully generated) at a single closure per fork.
+        if progressed {
+            atomicity::enforce_observed(&mut self.graph, self.obs.as_deref())?;
+        }
         Ok(())
     }
 
@@ -691,9 +737,102 @@ impl Behavior {
             .collect()
     }
 
+    /// [`Behavior::resolvable_loads`] into a caller-provided buffer.
+    pub fn resolvable_loads_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.graph
+                .iter()
+                .filter(|(_, n)| n.is_load() && !n.is_resolved())
+                .map(|(id, _)| id)
+                .filter(|&id| candidates::load_resolvable(&self.graph, id)),
+        );
+    }
+
+    /// Single-scan fusion of [`Behavior::is_complete`],
+    /// [`Behavior::resolvable_loads_into`], and the per-address store
+    /// index for the enumeration hot path.
+    ///
+    /// Fills `unresolved` with every unresolved memory operation and
+    /// `stores` with every addressed store in node order (the gate and
+    /// candidate inputs for [`Behavior::candidates_gated_into`]), fills
+    /// `out` with the loads that pass the resolution gate of §4, and
+    /// returns whether the behavior is complete. The per-load gate is a
+    /// handful of O(1) reachability bit-tests against the unresolved set
+    /// instead of a predecessor-set walk per load.
+    pub fn completeness_scan(
+        &self,
+        unresolved: &mut Vec<NodeId>,
+        stores: &mut Vec<(Addr, NodeId)>,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        unresolved.clear();
+        stores.clear();
+        out.clear();
+        let mut all_resolved = true;
+        for (id, n) in self.graph.iter() {
+            if !n.is_resolved() {
+                all_resolved = false;
+                if n.is_memory() {
+                    unresolved.push(id);
+                }
+            }
+            if n.is_store() {
+                if let Some(addr) = n.addr() {
+                    stores.push((addr, id));
+                }
+            }
+        }
+        for i in 0..unresolved.len() {
+            let l = unresolved[i];
+            let n = self.graph.node(l);
+            if !n.is_load() || n.addr().is_none() {
+                continue;
+            }
+            let blocked = unresolved
+                .iter()
+                .any(|&u| u != l && self.graph.node(u).is_load() && self.graph.precedes(u, l));
+            if !blocked {
+                out.push(l);
+            }
+        }
+        all_resolved
+            && self
+                .threads
+                .iter()
+                .all(|t| t.halted && t.blocked_branch.is_none())
+    }
+
     /// `candidates(L)` for a resolvable load (see [`crate::candidates`]).
     pub fn candidates(&self, load: NodeId) -> Vec<NodeId> {
         candidates::candidates(&self.graph, load)
+    }
+
+    /// [`Behavior::candidates`] with caller-provided buffers (see
+    /// [`crate::candidates::candidates_into`]).
+    pub fn candidates_into(&self, load: NodeId, scratch: &mut Vec<NodeId>, out: &mut Vec<NodeId>) {
+        candidates::candidates_into(&self.graph, load, scratch, out);
+    }
+
+    /// [`Behavior::candidates_into`] with the unresolved-memory-op list
+    /// and store index precomputed by [`Behavior::completeness_scan`]
+    /// (see [`crate::candidates::candidates_gated_into`]).
+    pub fn candidates_gated_into(
+        &self,
+        load: NodeId,
+        unresolved_mem: &[NodeId],
+        all_stores: &[(Addr, NodeId)],
+        scratch: &mut Vec<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        candidates::candidates_gated_into(
+            &self.graph,
+            load,
+            unresolved_mem,
+            all_stores,
+            scratch,
+            out,
+        );
     }
 
     /// Summarizes the final register file of every thread.
@@ -703,8 +842,22 @@ impl Behavior {
     /// Panics when the behaviour is not [complete](Behavior::is_complete):
     /// partial behaviours have unresolved registers.
     pub fn outcome(&self) -> crate::outcome::Outcome {
+        crate::outcome::Outcome::new(self.outcome_rows())
+    }
+
+    /// The final register file of every thread as raw per-thread rows.
+    ///
+    /// Exposed separately from [`Behavior::outcome`] so symmetry-aware
+    /// enumeration can permute rows across structurally identical threads
+    /// without rebuilding them per permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the behaviour is not [complete](Behavior::is_complete):
+    /// partial behaviours have unresolved registers.
+    pub fn outcome_rows(&self) -> Vec<Vec<Value>> {
         assert!(self.is_complete(), "outcome requires a complete behaviour");
-        let regs = (0..self.threads.len())
+        (0..self.threads.len())
             .map(|t| {
                 (0..self.threads[t].regs.len())
                     .map(|r| {
@@ -713,8 +866,7 @@ impl Behavior {
                     })
                     .collect()
             })
-            .collect();
-        crate::outcome::Outcome::new(regs)
+            .collect()
     }
 
     /// A canonical byte string identifying this behaviour up to
@@ -787,7 +939,7 @@ impl Behavior {
         key.push(0xFE);
         self.graph.order().encode_pairs(&relabel, &mut key);
         key.push(0xFF);
-        for t in &self.threads {
+        for t in self.threads.iter() {
             key.extend_from_slice(&(t.pc as u32).to_le_bytes());
             key.push(u8::from(t.halted));
             key.push(u8::from(t.blocked_branch.is_some()));

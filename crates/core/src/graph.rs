@@ -16,7 +16,7 @@
 use std::fmt;
 
 use crate::atomicity::Rule;
-use crate::bitset::BitSet;
+use crate::bitset::BitSetRef;
 use crate::closure::Closure;
 use crate::error::CycleError;
 use crate::ids::{Addr, NodeId, Reg, ThreadId, Value};
@@ -365,11 +365,28 @@ pub struct Edge {
 
 /// A partially ordered execution: the node arena, the typed edge list, and
 /// the transitive closure of `@`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ExecutionGraph {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     closure: Closure,
+}
+
+impl Clone for ExecutionGraph {
+    fn clone(&self) -> Self {
+        ExecutionGraph {
+            nodes: self.nodes.clone(),
+            edges: self.edges.clone(),
+            closure: self.closure.clone(),
+        }
+    }
+
+    // Capacity-reusing clone for the enumeration fork pool.
+    fn clone_from(&mut self, source: &Self) {
+        self.nodes.clone_from(&source.nodes);
+        self.edges.clone_from(&source.edges);
+        self.closure.clone_from(&source.closure);
+    }
 }
 
 impl ExecutionGraph {
@@ -563,12 +580,12 @@ impl ExecutionGraph {
     }
 
     /// The strict `@`-predecessor set of a node.
-    pub fn predecessors(&self, id: NodeId) -> &BitSet {
+    pub fn predecessors(&self, id: NodeId) -> BitSetRef<'_> {
         self.closure.predecessors(id)
     }
 
     /// The strict `@`-successor set of a node.
-    pub fn successors(&self, id: NodeId) -> &BitSet {
+    pub fn successors(&self, id: NodeId) -> BitSetRef<'_> {
         self.closure.successors(id)
     }
 

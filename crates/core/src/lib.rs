@@ -87,6 +87,7 @@ pub mod obs;
 pub mod outcome;
 pub mod parallel;
 pub mod policy;
+pub mod pruned;
 pub mod serialize;
 pub mod speculation;
 pub mod static_order;

@@ -172,6 +172,14 @@ pub enum PruneReason {
     /// The resolution violated Store Atomicity (closure cycle) and was
     /// rolled back — or, for non-speculative models, failed outright.
     Inconsistent,
+    /// Prune-before-expand: the fork's observation set was already
+    /// claimed by an equal partial behaviour, so it was skipped without
+    /// ever being materialized (dominance / sleep-set pruning).
+    Dominated,
+    /// Prune-before-expand: the fork's observation set is a thread
+    /// permutation of a claimed one; its executions are credited to the
+    /// representative's orbit instead of being explored.
+    Symmetric,
 }
 
 impl fmt::Display for PruneReason {
@@ -179,6 +187,8 @@ impl fmt::Display for PruneReason {
         f.write_str(match self {
             PruneReason::Duplicate => "duplicate",
             PruneReason::Inconsistent => "inconsistent",
+            PruneReason::Dominated => "dominated",
+            PruneReason::Symmetric => "symmetric",
         })
     }
 }

@@ -145,6 +145,10 @@ struct WorkerResult {
     outcomes: OutcomeSet,
     /// Keyed executions, so the merge can sort canonically.
     executions: Vec<(Vec<u8>, Behavior)>,
+    /// Canonical keys of completed behaviours when executions are not
+    /// kept and dedup is off, so the merge can still collapse
+    /// `distinct_executions` to the true distinct count.
+    final_keys: Vec<Vec<u8>>,
 }
 
 /// Refines one behaviour: counts it, emits it if complete, otherwise
@@ -176,6 +180,8 @@ fn refine(
         local.outcomes.insert(behavior.outcome());
         if config.keep_executions {
             local.executions.push((behavior.canonical_key(), behavior));
+        } else if !config.dedup {
+            local.final_keys.push(behavior.canonical_key());
         }
         return;
     }
@@ -415,6 +421,7 @@ pub fn enumerate_parallel(
         ..EnumResult::default()
     };
     let mut keyed: Vec<(Vec<u8>, Behavior)> = Vec::new();
+    let mut final_keys: Vec<Vec<u8>> = Vec::new();
     for local in locals {
         result.stats.explored += local.stats.explored;
         result.stats.forks += local.stats.forks;
@@ -430,6 +437,7 @@ pub fn enumerate_parallel(
         result.stats.idle_wakeups += local.stats.idle_wakeups;
         result.outcomes.extend(local.outcomes.iter().cloned());
         keyed.extend(local.executions);
+        final_keys.extend(local.final_keys);
     }
     result.stats.obs = obs.map(|o| o.snapshot());
 
@@ -441,6 +449,10 @@ pub fn enumerate_parallel(
         keyed.dedup_by(|a, b| a.0 == b.0);
         if config.keep_executions {
             result.stats.distinct_executions = keyed.len();
+        } else {
+            final_keys.sort();
+            final_keys.dedup();
+            result.stats.distinct_executions = final_keys.len();
         }
     } else {
         keyed.sort_by(|a, b| a.0.cmp(&b.0));

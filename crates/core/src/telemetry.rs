@@ -571,6 +571,10 @@ pub struct TraceCounters {
     pub prunes_duplicate: AtomicU64,
     /// Prunes with [`PruneReason::Inconsistent`] (rollbacks/failures).
     pub prunes_inconsistent: AtomicU64,
+    /// Prunes with [`PruneReason::Dominated`] (pre-expansion claim hits).
+    pub prunes_dominated: AtomicU64,
+    /// Prunes with [`PruneReason::Symmetric`] (orbit-folded forks).
+    pub prunes_symmetric: AtomicU64,
     /// Commit events (behaviours yielded).
     pub commits: AtomicU64,
 }
@@ -590,6 +594,15 @@ impl TraceCounters {
             self.commits.load(Ordering::Relaxed),
         )
     }
+
+    /// A `(dominated, symmetric)` snapshot of the prune-before-expand
+    /// counters (zero for traces from the serial engine).
+    pub fn snapshot_pruned(&self) -> (u64, u64) {
+        (
+            self.prunes_dominated.load(Ordering::Relaxed),
+            self.prunes_symmetric.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl TraceSink for TraceCounters {
@@ -604,6 +617,14 @@ impl TraceSink for TraceCounters {
                 reason: PruneReason::Inconsistent,
                 ..
             } => self.prunes_inconsistent.fetch_add(1, Ordering::Relaxed),
+            TraceEvent::Prune {
+                reason: PruneReason::Dominated,
+                ..
+            } => self.prunes_dominated.fetch_add(1, Ordering::Relaxed),
+            TraceEvent::Prune {
+                reason: PruneReason::Symmetric,
+                ..
+            } => self.prunes_symmetric.fetch_add(1, Ordering::Relaxed),
             TraceEvent::Commit { .. } => self.commits.fetch_add(1, Ordering::Relaxed),
         };
     }

@@ -16,6 +16,7 @@ use samm_core::instr::Program;
 use samm_core::outcome::OutcomeSet;
 use samm_core::parallel::enumerate_parallel;
 use samm_core::policy::Policy;
+use samm_core::pruned::enumerate_pruned;
 
 use crate::catalog::{CatalogEntry, ModelSel};
 
@@ -220,6 +221,37 @@ pub fn run_entry_parallel(
     config: &EnumConfig,
 ) -> Result<EntryReport, EnumError> {
     run_entry_with(entry, config, enumerate_parallel, None, None)
+}
+
+/// Like [`run_entry`], but enumerating with the prune-before-expand
+/// engine ([`enumerate_pruned`]). Verdicts, outcome sets and execution
+/// counts are identical to [`run_entry`]'s — the engines are
+/// behaviour-equivalent — but the search-shape statistics (`explored`,
+/// `forks`, `deduped`) count pruned-search work.
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn run_entry_pruned(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate_pruned, None, None)
+}
+
+/// The prune-before-expand variant of [`run_entry_cached`]. The cache is
+/// engine-transparent, so entries filled by any engine answer pruned
+/// queries and vice versa.
+///
+/// # Errors
+///
+/// Propagates enumeration failures (which are never cached).
+pub fn run_entry_cached_pruned(
+    entry: &CatalogEntry,
+    config: &EnumConfig,
+    cache: &EnumCache,
+) -> Result<EntryReport, EnumError> {
+    run_entry_with(entry, config, enumerate_pruned, None, Some(cache))
 }
 
 /// The per-model answer assembled by [`run_entry_with`].

@@ -16,8 +16,11 @@ use samm_core::error::EnumError;
 use samm_core::explain::{find_witness, refute, Goal, Refutation, RefuteOutcome};
 use samm_core::outcome::{Outcome, OutcomeSet};
 use samm_core::parallel::enumerate_parallel;
+use samm_core::pruned::enumerate_pruned;
 use samm_litmus::catalog::{self, CatalogEntry, ModelSel};
-use samm_litmus::expect::{run_entry_cached, run_entry_cached_parallel, EntryReport};
+use samm_litmus::expect::{
+    run_entry_cached, run_entry_cached_parallel, run_entry_cached_pruned, EntryReport,
+};
 
 use crate::json::Json;
 use crate::protocol::{EngineSel, ErrorKind, Request, ServiceError};
@@ -279,6 +282,13 @@ fn enumerate_response(
             &config,
             enumerate_parallel,
         ),
+        EngineSel::Pruned => cached_enumerate(
+            &state.cache,
+            &entry.test.program,
+            &policy,
+            &config,
+            enumerate_pruned,
+        ),
     }
     .map_err(enum_error)?;
     if !hit {
@@ -334,6 +344,7 @@ fn verdict_response(
     let report = match engine {
         EngineSel::Serial => run_entry_cached(&entry, &config, &state.cache),
         EngineSel::Parallel => run_entry_cached_parallel(&entry, &config, &state.cache),
+        EngineSel::Pruned => run_entry_cached_pruned(&entry, &config, &state.cache),
     }
     .map_err(enum_error)?;
     for row in report.rows.iter().filter(|row| !row.cache_hit) {

@@ -18,6 +18,8 @@ pub enum EngineSel {
     Serial,
     /// The work-stealing pool (`samm_core::parallel`).
     Parallel,
+    /// The prune-before-expand engine (`samm_core::pruned`).
+    Pruned,
 }
 
 impl EngineSel {
@@ -26,6 +28,7 @@ impl EngineSel {
         match self {
             EngineSel::Serial => "serial",
             EngineSel::Parallel => "parallel",
+            EngineSel::Pruned => "pruned",
         }
     }
 }
@@ -218,9 +221,10 @@ fn optional_engine(obj: &Json) -> Result<EngineSel, ServiceError> {
         Some(v) => match v.as_str() {
             Some("serial") => Ok(EngineSel::Serial),
             Some("parallel") => Ok(EngineSel::Parallel),
+            Some("pruned") => Ok(EngineSel::Pruned),
             _ => Err(ServiceError::new(
                 ErrorKind::Malformed,
-                "field 'engine' must be \"serial\" or \"parallel\"",
+                "field 'engine' must be \"serial\", \"parallel\" or \"pruned\"",
             )),
         },
     }

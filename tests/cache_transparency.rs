@@ -9,6 +9,12 @@
 //! property `samm-serve` relies on to serve mixed-engine traffic from
 //! one cache. A final check mutates the program and asserts the mutant
 //! can never be answered by the original's entry.
+//!
+//! The pruned engine gets its own transparency property: its search
+//! counters legitimately differ from the serial engine's, but the
+//! engine-independent observables (outcome set, distinct execution
+//! count) must agree under every dedup configuration, so a cache entry
+//! filled by either engine answers for both.
 
 use proptest::prelude::*;
 use rand::prelude::*;
@@ -20,6 +26,7 @@ use samm::core::ids::Value;
 use samm::core::instr::{Instr, Operand, Program, ThreadProgram};
 use samm::core::parallel::enumerate_parallel;
 use samm::core::policy::Policy;
+use samm::core::pruned::enumerate_pruned;
 use samm::litmus::rand_prog::{random_program, RandConfig};
 
 fn chain() -> [Policy; 4] {
@@ -46,6 +53,20 @@ fn gen_config(branchy: bool) -> RandConfig {
         branch_prob: if branchy { 0.25 } else { 0.0 },
         rmw_prob: 0.1,
     }
+}
+
+/// Asserts a [`CachedResult`] agrees with a fresh serial enumeration on
+/// the engine-independent observables: the outcome set and the distinct
+/// execution count. This is the contract every engine (serial, parallel,
+/// pruned) must satisfy; search-shape counters (`explored`, `forks`,
+/// `deduped`) are engine-specific and deliberately not compared here.
+fn assert_semantics_match_fresh(cached: &CachedResult, program: &Program, policy: &Policy) {
+    let fresh = enumerate(program, policy, &fast()).expect("fresh enumeration succeeds");
+    assert_eq!(cached.outcomes, fresh.outcomes, "outcome sets differ");
+    assert_eq!(
+        cached.stats.distinct_executions,
+        fresh.stats.distinct_executions
+    );
 }
 
 /// Asserts a [`CachedResult`] equals a fresh enumeration of the same
@@ -102,6 +123,60 @@ proptest! {
             prop_assert_eq!(&serial_fill, &parallel_fill, "fill engines must agree bit-for-bit");
 
             assert_matches_fresh(&serial_hit, &program, &policy);
+        }
+    }
+
+    /// The pruned engine is cache-transparent: an entry it fills serves
+    /// serial traffic (and vice versa) with the same outcomes and the
+    /// same distinct-execution count, under both dedup configurations.
+    /// With dedup off the serial engine must collapse duplicate complete
+    /// behaviours even though no executions are kept — the pruned engine
+    /// always reports the collapsed count, so any drift fails here.
+    #[test]
+    fn prop_pruned_engine_is_cache_transparent(
+        seed in 0u64..1_000_000,
+        branchy in prop::bool::ANY,
+        dedup in prop::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = random_program(&mut rng, &gen_config(branchy));
+        let config = EnumConfig::builder()
+            .keep_executions(false)
+            .dedup(dedup)
+            .build();
+        for policy in chain() {
+            // Pruned fills, serial hits.
+            let cache = EnumCache::new(16);
+            let (pruned_fill, hit) =
+                cached_enumerate(&cache, &program, &policy, &config, enumerate_pruned)
+                    .expect("pruned fill succeeds");
+            prop_assert!(!hit, "empty cache cannot hit");
+            let (serial_hit, hit) =
+                cached_enumerate(&cache, &program, &policy, &config, enumerate)
+                    .expect("hit succeeds");
+            prop_assert!(hit, "second lookup must hit");
+            prop_assert_eq!(&pruned_fill, &serial_hit, "hit must return the stored value");
+            assert_semantics_match_fresh(&serial_hit, &program, &policy);
+
+            // Serial fills, pruned hits: the fingerprint is engine-
+            // independent, so the pruned replay lands on the entry.
+            let other = EnumCache::new(16);
+            let (serial_fill, _) =
+                cached_enumerate(&other, &program, &policy, &config, enumerate)
+                    .expect("serial fill succeeds");
+            let (pruned_hit, hit) =
+                cached_enumerate(&other, &program, &policy, &config, enumerate_pruned)
+                    .expect("hit succeeds");
+            prop_assert!(hit);
+            prop_assert_eq!(&serial_fill, &pruned_hit);
+
+            // The engine-independent observables agree across fills.
+            prop_assert_eq!(&pruned_fill.outcomes, &serial_fill.outcomes);
+            prop_assert_eq!(
+                pruned_fill.stats.distinct_executions,
+                serial_fill.stats.distinct_executions,
+                "pruned and serial fills must agree on the distinct count"
+            );
         }
     }
 

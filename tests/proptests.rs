@@ -11,6 +11,7 @@ use samm::core::enumerate::{enumerate, EnumConfig};
 use samm::core::ids::NodeId;
 use samm::core::parallel::enumerate_parallel;
 use samm::core::policy::Policy;
+use samm::core::pruned::enumerate_pruned;
 use samm::core::serialize;
 use samm::litmus::rand_prog::{random_program, RandConfig};
 use samm::oper;
@@ -313,6 +314,69 @@ proptest! {
             }).unwrap();
             prop_assert_eq!(&serial.outcomes, &parallel.outcomes);
             prop_assert_eq!(serial.stats.distinct_executions, parallel.stats.distinct_executions);
+        }
+    }
+
+    /// Differential: the prune-before-expand engine yields exactly the
+    /// serial oracle's outcome set and distinct-execution count on random
+    /// programs, across the whole model chain (± speculation). Dominance
+    /// pruning, symmetry reduction and copy-on-write forks must be
+    /// invisible in the behaviour set.
+    #[test]
+    fn pruned_matches_serial_differentially(
+        seed in any::<u64>(),
+        branchy in any::<bool>(),
+    ) {
+        let prog = program_from_seed(seed, branchy);
+        for policy in [
+            Policy::sequential_consistency(),
+            Policy::tso(),
+            Policy::pso(),
+            Policy::weak(),
+            Policy::weak().with_alias_speculation(true),
+        ] {
+            let serial = enumerate(&prog, &policy, &quick_config()).unwrap();
+            let pruned = enumerate_pruned(&prog, &policy, &quick_config()).unwrap();
+            prop_assert_eq!(
+                &serial.outcomes, &pruned.outcomes,
+                "outcome sets differ under {}", policy.name()
+            );
+            prop_assert_eq!(
+                serial.stats.distinct_executions, pruned.stats.distinct_executions,
+                "execution counts differ under {}", policy.name()
+            );
+        }
+    }
+
+    /// Differential, with executions kept: the pruned engine keeps one
+    /// representative per distinct behaviour — exactly the serial
+    /// engine's deduplicated canonical-key set.
+    #[test]
+    fn pruned_kept_executions_equal_serials(seed in any::<u64>(), branchy in any::<bool>()) {
+        let prog = program_from_seed(seed, branchy);
+        let config = EnumConfig::default();
+        let serial = enumerate(&prog, &Policy::weak(), &config).unwrap();
+        let pruned = enumerate_pruned(&prog, &Policy::weak(), &config).unwrap();
+        let mut serial_keys: Vec<Vec<u8>> =
+            serial.executions.iter().map(|b| b.canonical_key()).collect();
+        serial_keys.sort();
+        serial_keys.dedup();
+        let mut pruned_keys: Vec<Vec<u8>> =
+            pruned.executions.iter().map(|b| b.canonical_key()).collect();
+        pruned_keys.sort();
+        prop_assert_eq!(serial_keys, pruned_keys);
+    }
+
+    /// Differential over RMW programs: single-node atomics prune through
+    /// the same refinement tree on both engines.
+    #[test]
+    fn pruned_matches_serial_on_rmws(seed in any::<u64>()) {
+        let prog = rmw_program_from_seed(seed);
+        for policy in [Policy::tso(), Policy::weak()] {
+            let serial = enumerate(&prog, &policy, &quick_config()).unwrap();
+            let pruned = enumerate_pruned(&prog, &policy, &quick_config()).unwrap();
+            prop_assert_eq!(&serial.outcomes, &pruned.outcomes);
+            prop_assert_eq!(serial.stats.distinct_executions, pruned.stats.distinct_executions);
         }
     }
 

@@ -10,9 +10,18 @@
 //! (`[class]{m,n}`, `\PC{m,n}`, literals).
 //!
 //! Differences from upstream: inputs are generated from a deterministic
-//! per-test stream (seeded by test name), there is **no shrinking** — a
-//! failing case panics with the case number so it can be replayed — and
-//! `.proptest-regressions` files are ignored.
+//! per-test stream (seeded by test name) and there is **no shrinking** —
+//! a failing case panics with the case number so it can be replayed.
+//!
+//! Failure persistence mirrors upstream's: a failing case is appended to
+//! `<source file>.proptest-regressions` as `cc <test name> case=<n>`,
+//! and every persisted case for a test is replayed *before* novel cases
+//! are generated, so a once-found counterexample keeps guarding the
+//! property after it is fixed. Because the input stream is deterministic
+//! in `(test name, case index)`, the case index alone reconstructs the
+//! full input. Upstream-format `cc <hex>` lines are tolerated and
+//! ignored. Set `PROPTEST_NO_PERSIST=1` to disable writing (e.g. for
+//! read-only checkouts in CI).
 
 pub mod test_runner {
     /// Deterministic per-test random stream (SplitMix64).
@@ -68,6 +77,75 @@ pub mod test_runner {
         fn default() -> Self {
             ProptestConfig { cases: 256 }
         }
+    }
+}
+
+/// Failure persistence: saving and replaying the case indices of failed
+/// properties, upstream's `.proptest-regressions` workflow adapted to
+/// this shim's deterministic streams.
+pub mod persistence {
+    use std::fs;
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// The regression file that guards `source_file` (a `file!()` path,
+    /// relative to the crate's manifest directory).
+    pub fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        Path::new(manifest_dir).join(format!("{source_file}.proptest-regressions"))
+    }
+
+    /// Case indices persisted for `test_name`, in file order. Lines that
+    /// are comments, upstream hex seeds, or entries for other tests are
+    /// skipped.
+    pub fn load_cases(path: &Path, test_name: &str) -> Vec<u32> {
+        let Ok(contents) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        contents
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let (name, case) = rest.split_once(' ')?;
+                if name != test_name {
+                    return None;
+                }
+                case.trim().strip_prefix("case=")?.parse().ok()
+            })
+            .collect()
+    }
+
+    /// Appends a failing case for `test_name`, creating the file (with
+    /// the upstream header) on first use. Already-persisted cases and
+    /// write errors are silently skipped — persistence must never mask
+    /// the original test failure.
+    pub fn persist_case(path: &Path, test_name: &str, case: u32) {
+        if std::env::var_os("PROPTEST_NO_PERSIST").is_some() {
+            return;
+        }
+        let entry = format!("cc {test_name} case={case}");
+        let existing = fs::read_to_string(path).unwrap_or_default();
+        if existing.lines().any(|l| l.trim() == entry) {
+            return;
+        }
+        let _ = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| {
+                if existing.is_empty() {
+                    f.write_all(HEADER.as_bytes())?;
+                }
+                writeln!(f, "{entry}")
+            });
     }
 }
 
@@ -487,7 +565,11 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases {
+            let __proptest_regressions = $crate::persistence::regression_path(
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+            );
+            let __proptest_run_case = |case: u32| {
                 let mut __proptest_rng =
                     $crate::test_runner::TestRng::deterministic(stringify!($name), case);
                 $(
@@ -496,14 +578,36 @@ macro_rules! __proptest_impl {
                         &mut __proptest_rng,
                     );
                 )+
-                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
                     || $body,
-                ));
-                if let Err(e) = result {
+                ))
+            };
+            // Persisted counterexamples run before any novel case.
+            for case in
+                $crate::persistence::load_cases(&__proptest_regressions, stringify!($name))
+            {
+                if let Err(e) = __proptest_run_case(case) {
                     eprintln!(
-                        "proptest case {case}/{} of `{}` failed",
+                        "persisted regression case {case} of `{}` failed \
+                         (from {})",
+                        stringify!($name),
+                        __proptest_regressions.display(),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+            for case in 0..config.cases {
+                if let Err(e) = __proptest_run_case(case) {
+                    $crate::persistence::persist_case(
+                        &__proptest_regressions,
+                        stringify!($name),
+                        case,
+                    );
+                    eprintln!(
+                        "proptest case {case}/{} of `{}` failed; persisted to {}",
                         config.cases,
                         stringify!($name),
+                        __proptest_regressions.display(),
                     );
                     ::std::panic::resume_unwind(e);
                 }
@@ -600,6 +704,35 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert_eq!(flag as u64 <= 1, true);
         }
+    }
+
+    #[test]
+    fn persistence_round_trip_and_upstream_tolerance() {
+        let path = std::env::temp_dir().join(format!(
+            "proptest-shim-regressions-{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        assert!(super::persistence::load_cases(&path, "prop_a").is_empty());
+        super::persistence::persist_case(&path, "prop_a", 7);
+        super::persistence::persist_case(&path, "prop_a", 7); // dedups
+        super::persistence::persist_case(&path, "prop_a", 12);
+        super::persistence::persist_case(&path, "prop_b", 3);
+        assert_eq!(super::persistence::load_cases(&path, "prop_a"), vec![7, 12]);
+        assert_eq!(super::persistence::load_cases(&path, "prop_b"), vec![3]);
+
+        // Upstream-format seed lines and comments are skipped, not errors.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("# Seeds for failure cases"));
+        std::fs::write(
+            &path,
+            format!("{contents}cc 9b55c760976a5cfe # shrinks to seed = 1\n"),
+        )
+        .unwrap();
+        assert_eq!(super::persistence::load_cases(&path, "prop_a"), vec![7, 12]);
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
