@@ -7,7 +7,7 @@
 //!
 //! * `PATH...` — `.litmus` files or directories to scan (recursively);
 //!   each file must parse, compile, and pass the program lints
-//!   (`dead-fence`) under the selected policy.
+//!   (`dead-fence`, `redundant-fence-static`) under the selected policy.
 //! * `--policy NAME` — policy for the program lints: `sc`, `tso`,
 //!   `naive-tso`, `pso`, `weak` (default `weak`).
 //! * `--models` — lint every built-in policy table against the paper's
@@ -20,6 +20,8 @@
 //!
 //! Exit status: 0 clean, 1 diagnostics (errors always; warnings only
 //! with `--deny-warnings`), 2 usage or I/O failure.
+
+#![deny(missing_docs)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

@@ -19,10 +19,24 @@
 //!   under the given store-atomic policy equals its SC behaviour set.
 //!   The litmus harness uses the certificate to short-circuit weak-model
 //!   enumeration to a single SC run ([`harness`]).
+//! * [`robust`] — a Shasha–Snir delay-set robustness certifier. It
+//!   classifies every program-order pair as delayable or guaranteed
+//!   straight from the policy table, searches the cross-thread conflict
+//!   graph for *critical cycles*, and emits a machine-checked verdict:
+//!   [`robust::Robustness::Robust`] (behaviour set equals the SC set —
+//!   one SC run answers the query, even for racy programs the DRF/TLO
+//!   certifier declines), [`robust::Robustness::NotRobust`] (carrying a
+//!   cycle replayed into a concrete weak witness by the pruned engine)
+//!   or [`robust::Robustness::Unknown`] (sound fallback to
+//!   enumeration). Cycles also seed minimal fence placement
+//!   ([`robust::break_cycles`], [`robust::synthesize_with_robust_seed`]).
+//!   The `samm-analyze` binary sweeps the catalog and cross-checks every
+//!   verdict against the pruned oracle in CI.
 //! * [`lint`] — a policy-axiom linter for reordering tables
 //!   (single-thread determinism of the three `x ≠ y` cells, fence
 //!   symmetry, Bypass placement, strength containment of the
-//!   `SC ⊒ TSO ⊒ PSO ⊒ Weak` chain) plus a `dead-fence` program lint.
+//!   `SC ⊒ TSO ⊒ PSO ⊒ Weak` chain) plus `dead-fence` and
+//!   `redundant-fence-static` program lints.
 //!   The `samm-lint` binary runs the suite over `litmus-tests/` and the
 //!   built-in catalog in CI.
 //!
@@ -42,7 +56,15 @@ pub mod certify;
 pub mod harness;
 pub mod lint;
 pub mod race;
+pub mod robust;
 
 pub use certify::{certify, CertReason, Certificate};
-pub use lint::{lint_builtin_models, lint_chain, lint_litmus, lint_policy, Diagnostic, Severity};
+pub use lint::{
+    lint_builtin_models, lint_chain, lint_litmus, lint_policy, lint_redundant_fences, Diagnostic,
+    Severity,
+};
 pub use race::{find_races, Access, AccessMode, Race, RaceKind, RaceReport};
+pub use robust::{
+    analyze_robustness, analyze_static, break_cycles, synthesize_with_robust_seed, CriticalCycle,
+    RobustCertificate, Robustness, Segment, StaticVerdict, UnknownReason,
+};

@@ -11,10 +11,12 @@
 
 use std::fmt;
 
-use samm_core::instr::{Instr, Program};
+use samm_core::instr::{Instr, Program, ThreadProgram};
 use samm_core::policy::{Constraint, OpClass, Policy};
 use samm_core::static_order::fence_is_dead;
 use samm_litmus::CompiledLitmus;
+
+use crate::robust::{analyze_static, StaticVerdict};
 
 /// Severity of a diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -191,7 +193,8 @@ pub fn lint_chain(chain: &[Policy]) -> Vec<Diagnostic> {
 /// Lints a compiled program under one policy: flags `dead-fence` for
 /// every fence whose removal changes no guaranteed memory order
 /// (straight-line threads only; branchy threads are skipped —
-/// conservatively silent).
+/// conservatively silent), then `redundant-fence-static` via
+/// [`lint_redundant_fences`].
 pub fn lint_program(program: &Program, policy: &Policy) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (t, thread) in program.threads().iter().enumerate() {
@@ -203,6 +206,56 @@ pub fn lint_program(program: &Program, policy: &Policy) -> Vec<Diagnostic> {
                         "thread {t}, instruction {i}: fence adds no ordering under \
                          {} — the table (or a neighbouring fence) already orders \
                          every pair it separates",
+                        policy.name()
+                    ),
+                ));
+            }
+        }
+    }
+    out.extend(lint_redundant_fences(program, policy));
+    out
+}
+
+/// `program` with the instruction at `(thread, index)` deleted.
+fn without_instr(program: &Program, thread: usize, index: usize) -> Program {
+    let mut threads: Vec<ThreadProgram> = program.threads().to_vec();
+    let mut instrs = threads[thread].instrs().to_vec();
+    instrs.remove(index);
+    threads[thread] = ThreadProgram::new(instrs);
+    Program::with_init(threads, program.init_entries().collect())
+}
+
+/// Flags `redundant-fence-static` for every fence the delay-set
+/// analysis proves removable: the program is statically robust
+/// ([`crate::robust::analyze_static`]) both with and without the fence,
+/// so both variants have exactly the SC behaviour set of the fenced
+/// program (fences are SC no-ops) — removal changes no behaviour under
+/// the given model.
+///
+/// Silent unless the *base* program is statically robust (when it is
+/// not, every surviving fence may be load-bearing in ways the static
+/// analysis cannot bound), and silent on fences the cheaper
+/// `dead-fence` lint already reports. The claim is cross-checked
+/// against exhaustive enumeration by the lint test suite and
+/// `robust_differential.rs`.
+pub fn lint_redundant_fences(program: &Program, policy: &Policy) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !matches!(analyze_static(program, policy), StaticVerdict::Robust(_)) {
+        return out;
+    }
+    for (t, thread) in program.threads().iter().enumerate() {
+        for (i, instr) in thread.instrs().iter().enumerate() {
+            if !matches!(instr, Instr::Fence) || fence_is_dead(thread, policy, i) {
+                continue;
+            }
+            let stripped = without_instr(program, t, i);
+            if matches!(analyze_static(&stripped, policy), StaticVerdict::Robust(_)) {
+                out.push(Diagnostic::warning(
+                    "redundant-fence-static",
+                    format!(
+                        "thread {t}, instruction {i}: fence breaks no critical cycle \
+                         under {} — the program is SC-robust with and without it, so \
+                         removing it changes no observable behaviour",
                         policy.name()
                     ),
                 ));
@@ -346,9 +399,12 @@ mod tests {
     }
 
     #[test]
-    fn live_fences_are_silent() {
+    fn concurrency_free_fences_are_statically_redundant() {
         use samm_core::ids::Value;
         use samm_core::instr::{Operand, ThreadProgram};
+        // One thread, no contention: the fence genuinely orders the
+        // store→load pair (not dead-fence), yet with nobody to observe
+        // the ordering it breaks no critical cycle.
         let t = ThreadProgram::new(vec![
             Instr::Store {
                 addr: Operand::Imm(Value::new(0)),
@@ -360,6 +416,112 @@ mod tests {
                 addr: Operand::Imm(Value::new(1)),
             },
         ]);
-        assert!(lint_program(&Program::new(vec![t]), &Policy::weak()).is_empty());
+        let diags = lint_program(&Program::new(vec![t]), &Policy::weak());
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].code, "redundant-fence-static");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn load_bearing_fences_are_silent() {
+        use samm_litmus::catalog;
+        // Every fence of the fenced MP/SB/IRIW entries breaks a critical
+        // cycle under the weak model — none may be called redundant.
+        for entry in [
+            catalog::mp_fenced(),
+            catalog::sb_fenced(),
+            catalog::iriw_fenced(),
+            catalog::mp_fenced_scratch(),
+        ] {
+            let diags = lint_program(&entry.test.program, &Policy::weak());
+            assert!(diags.is_empty(), "{}: {diags:#?}", entry.test.name);
+        }
+    }
+
+    #[test]
+    fn scratch_producer_fence_is_redundant_under_tso_but_load_bearing_under_weak() {
+        use samm_litmus::catalog;
+        // MP+fences+scratch under TSO: the producer fence separates the
+        // store→load scratch pair (a Bypass edge, so not `dead-fence`),
+        // yet TSO's guaranteed store→store order keeps MP robust without
+        // it — redundant. Under the weak model the same fence is what
+        // orders the publication stores: load-bearing, silent.
+        let program = catalog::mp_fenced_scratch().test.program;
+        let tso = lint_redundant_fences(&program, &Policy::tso());
+        assert_eq!(tso.len(), 1, "{tso:#?}");
+        assert_eq!(tso[0].code, "redundant-fence-static");
+        assert!(tso[0].message.contains("thread 0"), "{}", tso[0].message);
+        assert!(lint_redundant_fences(&program, &Policy::weak()).is_empty());
+    }
+
+    #[test]
+    fn dead_fences_are_left_to_the_dead_fence_lint() {
+        use samm_litmus::catalog;
+        // IRIW's reader fences under TSO separate only load→load pairs
+        // the table already orders: `dead-fence` claims them, and the
+        // redundancy lint stays out of its way.
+        let diags = lint_program(&catalog::iriw_fenced().test.program, &Policy::tso());
+        assert_eq!(diags.len(), 2, "{diags:#?}");
+        assert!(diags.iter().all(|d| d.code == "dead-fence"));
+    }
+
+    #[test]
+    fn non_robust_programs_get_no_redundancy_verdicts() {
+        use samm_litmus::catalog;
+        // MP+wfence is not robust under weak (the consumer side still
+        // reorders): the lint must stay silent rather than reason about
+        // fences it cannot bound.
+        let program = catalog::mp_fence_producer_only().test.program;
+        assert!(lint_redundant_fences(&program, &Policy::weak()).is_empty());
+    }
+
+    #[test]
+    fn redundancy_verdicts_match_exhaustive_enumeration() {
+        use samm_core::enumerate::EnumConfig;
+        use samm_core::pruned::enumerate_pruned;
+        use samm_litmus::catalog;
+        // Every redundant-fence-static claim over the catalog must be
+        // backed by enumeration: stripping the fence may not change the
+        // outcome set under the model that called it redundant.
+        let config = EnumConfig {
+            keep_executions: false,
+            ..EnumConfig::default()
+        };
+        let mut fired = 0;
+        for entry in catalog::all() {
+            let program = &entry.test.program;
+            for policy in [Policy::tso(), Policy::pso(), Policy::weak()] {
+                if !matches!(analyze_static(program, &policy), StaticVerdict::Robust(_)) {
+                    continue;
+                }
+                let base = enumerate_pruned(program, &policy, &config).unwrap();
+                for (t, thread) in program.threads().iter().enumerate() {
+                    for (i, instr) in thread.instrs().iter().enumerate() {
+                        if !matches!(instr, Instr::Fence) || fence_is_dead(thread, &policy, i) {
+                            continue;
+                        }
+                        let stripped = without_instr(program, t, i);
+                        let redundant =
+                            matches!(analyze_static(&stripped, &policy), StaticVerdict::Robust(_));
+                        if redundant {
+                            fired += 1;
+                            let after = enumerate_pruned(&stripped, &policy, &config).unwrap();
+                            assert_eq!(
+                                base.outcomes,
+                                after.outcomes,
+                                "{} under {}: fence ({t}, {i}) called redundant but \
+                                 its removal changes the outcome set",
+                                entry.test.name,
+                                policy.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            fired > 0,
+            "the cross-check never exercised a redundancy claim"
+        );
     }
 }

@@ -116,6 +116,48 @@ pub fn mp_fenced() -> CatalogEntry {
     )
 }
 
+/// Fenced message passing with extra thread-private scratch traffic:
+/// still safe everywhere, but *not* certifiable by the DRF/TLO shapes —
+/// the program races on `x`/`flag`, and each thread's scratch accesses
+/// stay unordered with its fenced core (store→store under PSO/Weak, the
+/// store→load bypass pair under TSO). Only the robustness analysis sees
+/// that the scratch locations carry no cross-thread conflict and every
+/// conflicting segment is fenced. This is the certified-fast-path bench
+/// subject of EXPERIMENTS E24.
+pub fn mp_fenced_scratch() -> CatalogEntry {
+    let test = LitmusBuilder::new("MP+fences+scratch")
+        .thread("P0", |t| {
+            t.store("x", 42)
+                .fence()
+                .store("flag", 1)
+                .store("s0", 7)
+                .load("r2", "s0");
+        })
+        .thread("P1", |t| {
+            t.load("r0", "flag")
+                .fence()
+                .load("r1", "x")
+                .store("s1", 9)
+                .load("r2", "s1");
+        })
+        .forbid(&[("P1", "r0", 1), ("P1", "r1", 0)])
+        .build()
+        .expect("MP+fences+scratch compiles");
+    CatalogEntry::new(
+        test,
+        "fenced MP with private scratch traffic: robust everywhere, yet \
+         neither data-race-free nor totally locally ordered",
+        &[
+            (0, Sc, false),
+            (0, NaiveTso, false),
+            (0, Tso, false),
+            (0, Pso, false),
+            (0, Weak, false),
+            (0, WeakSpec, false),
+        ],
+    )
+}
+
 /// Message passing fenced only on the producer side: the consumer's loads
 /// may still reorder under the weak model, but every buffer-based model
 /// keeps them in order — this separates Weak from PSO.

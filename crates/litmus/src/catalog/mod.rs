@@ -14,7 +14,7 @@ mod figures;
 pub use atomics::{atomic_increment, broken_increment, cas_mutex, swap_sb};
 pub use classic::{
     corr, iriw, iriw_fenced, lb, lb_data, mp, mp_fence_consumer_only, mp_fence_producer_only,
-    mp_fenced, sb, sb_fenced, wrc, wrc_fenced,
+    mp_fenced, mp_fenced_scratch, sb, sb_fenced, wrc, wrc_fenced,
 };
 pub use figures::{fig10, fig3, fig4, fig5, fig7, fig8};
 
@@ -161,6 +161,7 @@ pub fn all() -> Vec<CatalogEntry> {
         sb_fenced(),
         mp(),
         mp_fenced(),
+        mp_fenced_scratch(),
         mp_fence_producer_only(),
         mp_fence_consumer_only(),
         lb(),

@@ -179,9 +179,10 @@ pub fn run_entry_cached_parallel(
 /// under each non-SC model: models the certifier proves SC-equivalent
 /// reuse a single SC enumeration, and their rows are marked
 /// [`VerdictRow::certified`]. For certified rows the reported outcome
-/// and execution counts are the SC run's (outcome sets are provably
-/// equal; execution counts coincide for the certificate shapes the
-/// static analyzer emits).
+/// and execution counts are the SC run's: outcome sets are provably
+/// equal, while execution counts are the SC run's by convention — the
+/// DRF/TLO certificates preserve them exactly, robustness certificates
+/// only promise outcome-set equality.
 ///
 /// # Errors
 ///

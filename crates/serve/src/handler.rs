@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use samm_analyze::robust::StaticVerdict;
 use samm_core::cache::{cached_enumerate, EnumCache};
 use samm_core::enumerate::{enumerate, EnumConfig};
 use samm_core::error::EnumError;
@@ -153,7 +154,11 @@ pub fn handle_traced(state: &ServerState, request: &Request, id: Option<&str>) -
             condition,
             budget,
         } => refutation_response(state, test, model, *condition, *budget),
-        Request::Certify { test, model } => certify_response(test, model),
+        Request::Certify {
+            test,
+            model,
+            robust,
+        } => certify_response(state, test, model, *robust),
         Request::Metrics => Ok(metrics_response(state)),
         Request::MetricsProm => Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -423,19 +428,47 @@ fn refutation_response(
     ]))
 }
 
-fn certify_response(test: &str, model: &str) -> Result<Json, ServiceError> {
+fn certify_response(
+    state: &ServerState,
+    test: &str,
+    model: &str,
+    robust: bool,
+) -> Result<Json, ServiceError> {
     let entry = find_entry(test)?;
     let policy = find_model(model)?.policy();
     let certificate = samm_analyze::certify(&entry.test.program, &policy);
     let checked = certificate
         .as_ref()
         .is_some_and(|c| c.check(&entry.test.program, &policy));
-    Ok(Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("kind", Json::str("certify")),
         ("certified", Json::Bool(certificate.is_some())),
         ("checked", Json::Bool(checked)),
-    ]))
+    ];
+    if robust {
+        let verdict = samm_analyze::analyze_static(&entry.test.program, &policy);
+        state.telemetry.record_robust_verdict(verdict.name());
+        // Evidence self-checks: a robustness certificate or critical
+        // cycle must revalidate before the client is told about it.
+        let robust_checked = match &verdict {
+            StaticVerdict::Robust(cert) => cert.check(&entry.test.program, &policy),
+            StaticVerdict::CycleFound(cycle) => cycle.check(&entry.test.program, &policy),
+            StaticVerdict::Unknown(_) => true,
+        };
+        fields.push(("robust", Json::str(verdict.name())));
+        fields.push(("robust_checked", Json::Bool(robust_checked)));
+        match &verdict {
+            StaticVerdict::CycleFound(cycle) => {
+                fields.push(("cycle", Json::str(cycle.to_string())));
+            }
+            StaticVerdict::Unknown(reason) => {
+                fields.push(("reason", Json::str(reason.to_string())));
+            }
+            StaticVerdict::Robust(_) => {}
+        }
+    }
+    Ok(Json::obj(fields))
 }
 
 fn metrics_response(state: &ServerState) -> Json {
@@ -524,6 +557,7 @@ mod tests {
             &Request::Certify {
                 test: "SB".into(),
                 model: "NoSuchModel".into(),
+                robust: false,
             },
         );
         assert_eq!(
@@ -628,12 +662,82 @@ mod tests {
             &Request::Certify {
                 test: "MP+fences".into(),
                 model: "TSO".into(),
+                robust: false,
             },
         );
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
         if resp.get("certified") == Some(&Json::Bool(true)) {
             assert_eq!(resp.get("checked").and_then(Json::as_bool), Some(true));
         }
+        // Without robust:true the response carries no robustness fields
+        // and the verdict counters stay untouched.
+        assert!(resp.get("robust").is_none());
+        assert!(state
+            .telemetry
+            .robust_verdicts
+            .iter()
+            .all(|v| v.load(Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn certify_reports_robustness_verdicts_and_counts_them() {
+        let state = state();
+        // The racy-but-fenced scratch entry: uncertified by DRF/TLO,
+        // robust by delay-set analysis.
+        let resp = handle(
+            &state,
+            &Request::Certify {
+                test: "MP+fences+scratch".into(),
+                model: "Weak".into(),
+                robust: true,
+            },
+        );
+        assert_eq!(resp.get("certified").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("robust").and_then(Json::as_str), Some("robust"));
+        assert_eq!(
+            resp.get("robust_checked").and_then(Json::as_bool),
+            Some(true)
+        );
+        // Unfenced SB under the weak model: a critical cycle, rendered.
+        let resp = handle(
+            &state,
+            &Request::Certify {
+                test: "SB".into(),
+                model: "Weak".into(),
+                robust: true,
+            },
+        );
+        assert_eq!(resp.get("robust").and_then(Json::as_str), Some("cycle"));
+        assert_eq!(
+            resp.get("robust_checked").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(resp
+            .get("cycle")
+            .and_then(Json::as_str)
+            .is_some_and(|c| c.contains("delayable")));
+        // fig8 loads through published pointers: the analysis declines
+        // soundly with a reason.
+        let resp = handle(
+            &state,
+            &Request::Certify {
+                test: "fig8".into(),
+                model: "Weak".into(),
+                robust: true,
+            },
+        );
+        assert_eq!(resp.get("robust").and_then(Json::as_str), Some("unknown"));
+        assert!(resp.get("reason").and_then(Json::as_str).is_some());
+        // One verdict of each class reached the telemetry counters.
+        let counts: Vec<u64> = state
+            .telemetry
+            .robust_verdicts
+            .iter()
+            .map(|v| v.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(counts, vec![1, 1, 1]);
+        // The whole response set stays well-formed JSON.
+        crate::json::parse(&resp.to_string()).unwrap();
     }
 
     #[test]

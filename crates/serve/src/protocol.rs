@@ -80,12 +80,16 @@ pub enum Request {
         /// Per-request fork budget override.
         budget: Option<u64>,
     },
-    /// Run the static DRF/total-order certifier on a test/model pair.
+    /// Run the static DRF/total-order certifier on a test/model pair,
+    /// optionally followed by the delay-set robustness analysis.
     Certify {
         /// Catalog test name.
         test: String,
         /// Model name.
         model: String,
+        /// Also run the delay-set robustness analysis and report its
+        /// verdict (`robust`/`cycle`/`unknown`) in the response.
+        robust: bool,
     },
     /// Report server counters and cache statistics.
     Metrics,
@@ -215,6 +219,17 @@ fn optional_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
     }
 }
 
+fn optional_bool(obj: &Json, key: &str) -> Result<bool, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(ServiceError::new(
+            ErrorKind::Malformed,
+            format!("field '{key}' must be a boolean"),
+        )),
+    }
+}
+
 fn optional_engine(obj: &Json) -> Result<EngineSel, ServiceError> {
     match obj.get("engine") {
         None | Some(Json::Null) => Ok(EngineSel::Serial),
@@ -305,6 +320,7 @@ fn parse_request_obj(value: &Json) -> Result<Request, ServiceError> {
         "certify" => Ok(Request::Certify {
             test: required_str(value, "test")?,
             model: required_str(value, "model")?,
+            robust: optional_bool(value, "robust")?,
         }),
         "metrics" => Ok(Request::Metrics),
         "metrics_prom" => Ok(Request::MetricsProm),
@@ -363,6 +379,15 @@ mod tests {
             Request::Certify {
                 test: "MP+fences".into(),
                 model: "Weak".into(),
+                robust: false,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"certify","test":"SB","model":"TSO","robust":true}"#).unwrap(),
+            Request::Certify {
+                test: "SB".into(),
+                model: "TSO".into(),
+                robust: true,
             }
         );
         assert_eq!(
@@ -403,6 +428,10 @@ mod tests {
             ),
             (
                 r#"{"kind":"enumerate","test":"SB","model":"TSO","engine":"gpu"}"#,
+                ErrorKind::Malformed,
+            ),
+            (
+                r#"{"kind":"certify","test":"SB","model":"TSO","robust":"yes"}"#,
                 ErrorKind::Malformed,
             ),
             (r#"{"kind":"frobnicate"}"#, ErrorKind::UnknownKind),

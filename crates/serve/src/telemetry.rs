@@ -31,6 +31,10 @@ use crate::protocol::Request;
 /// self-observation never skews the service rates.
 pub const KIND_NAMES: [&str; 5] = ["enumerate", "verdict", "witness", "refutation", "certify"];
 
+/// Label values of the delay-set robustness verdict counters, in
+/// [`Telemetry::robust_verdicts`] index order.
+pub const ROBUST_VERDICT_NAMES: [&str; 3] = ["robust", "cycle", "unknown"];
+
 /// Index into [`KIND_NAMES`] for a request, or `None` for
 /// monitoring/control kinds.
 pub fn kind_index(request: &Request) -> Option<usize> {
@@ -156,6 +160,9 @@ pub struct Telemetry {
     pub enum_forks: AtomicU64,
     /// Forks discarded as duplicates (dedup hits) by fresh enumerations.
     pub enum_deduped: AtomicU64,
+    /// Delay-set robustness verdicts answered by `certify` requests
+    /// carrying `robust:true`, in [`ROBUST_VERDICT_NAMES`] order.
+    pub robust_verdicts: [AtomicU64; 3],
     /// Requests logged as slow.
     pub slow_total: AtomicU64,
     /// Request id of the most recent slow query (exposed as an info
@@ -185,6 +192,7 @@ impl Telemetry {
             enum_explored: AtomicU64::new(0),
             enum_forks: AtomicU64::new(0),
             enum_deduped: AtomicU64::new(0),
+            robust_verdicts: Default::default(),
             slow_total: AtomicU64::new(0),
             last_slow_id: Mutex::new(None),
             slow,
@@ -243,6 +251,14 @@ impl Telemetry {
             ("ms", FieldValue::F64(elapsed.as_secs_f64() * 1e3)),
         ]);
         slow.sink.emit(&line);
+    }
+
+    /// Tallies one delay-set robustness verdict (by its
+    /// [`ROBUST_VERDICT_NAMES`] name) from a `certify` request.
+    pub fn record_robust_verdict(&self, name: &str) {
+        if let Some(i) = ROBUST_VERDICT_NAMES.iter().position(|n| *n == name) {
+            self.robust_verdicts[i].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Folds a fresh enumeration's statistics into the aggregate
@@ -328,6 +344,16 @@ impl Telemetry {
                     ("candidate_calls", Json::num(obs.candidate_calls as f64)),
                     ("candidate_stores", Json::num(obs.candidate_stores as f64)),
                 ]),
+            ),
+            (
+                "robust_verdicts",
+                Json::obj(
+                    ROBUST_VERDICT_NAMES
+                        .iter()
+                        .zip(&self.robust_verdicts)
+                        .map(|(name, v)| (*name, Json::num(v.load(Ordering::Relaxed) as f64)))
+                        .collect::<Vec<_>>(),
+                ),
             ),
             (
                 "enumeration",
@@ -492,6 +518,24 @@ impl Telemetry {
         );
 
         prom.counter(
+            "samm_robust_verdicts_total",
+            "Delay-set robustness verdicts answered by certify requests, by verdict.",
+            &[
+                (
+                    &[("verdict", "robust")],
+                    self.robust_verdicts[0].load(Ordering::Relaxed) as f64,
+                ),
+                (
+                    &[("verdict", "cycle")],
+                    self.robust_verdicts[1].load(Ordering::Relaxed) as f64,
+                ),
+                (
+                    &[("verdict", "unknown")],
+                    self.robust_verdicts[2].load(Ordering::Relaxed) as f64,
+                ),
+            ],
+        );
+        prom.counter(
             "samm_slow_queries_total",
             "Requests at or over the slow-query threshold.",
             &[(&[], self.slow_total.load(Ordering::Relaxed) as f64)],
@@ -543,6 +587,9 @@ mod tests {
         telemetry.record(0, ReqOutcome::Hit, Duration::from_micros(5));
         telemetry.record(1, ReqOutcome::Overbudget, Duration::from_millis(40));
         telemetry.record(2, ReqOutcome::Error, Duration::from_micros(1));
+        telemetry.record_robust_verdict("robust");
+        telemetry.record_robust_verdict("cycle");
+        telemetry.record_robust_verdict("robust");
         let text = telemetry.render_prom(7, &CacheStats::default());
         let summary = prom::check(&text).expect("valid exposition");
         for family in [
@@ -553,12 +600,25 @@ mod tests {
             "samm_request_latency_seconds",
             "samm_cache_hits_total",
             "samm_closure_rule_applications_total",
+            "samm_robust_verdicts_total",
             "samm_slow_queries_total",
             "samm_slow_last_request_info",
         ] {
             assert!(summary.has_family(family), "missing {family}:\n{text}");
         }
         assert!(text.contains("samm_overloaded_total 7"));
+        assert!(text.contains("samm_robust_verdicts_total{verdict=\"robust\"} 2"));
+        assert!(text.contains("samm_robust_verdicts_total{verdict=\"cycle\"} 1"));
+    }
+
+    #[test]
+    fn unknown_robust_verdict_names_are_ignored() {
+        let telemetry = Telemetry::default();
+        telemetry.record_robust_verdict("nonsense");
+        assert!(telemetry
+            .robust_verdicts
+            .iter()
+            .all(|v| v.load(Ordering::Relaxed) == 0));
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Golden static-analysis regression: hand-checked race counts and
-//! SC-equivalence certificate verdicts for every `litmus-tests/` file and
-//! every catalog entry, across the model chain. The companion of
-//! `golden_enumeration.rs` — any analyzer change that shifts these
-//! verdicts must update this table deliberately.
+//! Golden static-analysis regression: hand-checked race counts,
+//! SC-equivalence certificate verdicts and delay-set robustness verdicts
+//! for every `litmus-tests/` file and every catalog entry, across the
+//! model chain. The companion of `golden_enumeration.rs` — any analyzer
+//! change that shifts these verdicts must update this table deliberately.
+//!
+//! Regenerate with
+//! `cargo test --release --test golden_races -- --ignored --nocapture`
+//! and merge the printed rows back in (keeping the comments).
 //!
 //! How the table was verified by hand against `golden_enumeration.rs`:
 //!
@@ -11,6 +15,11 @@
 //!   (e.g. fig3/fig7 under weak: 3,3 and 5,5 — same as SC), and every
 //!   divergent golden row (`SB+swap` weak 4 ≠ SC 3, fig10 TSO 15 ≠ SC 7,
 //!   fig5 weak 24 ≠ SC 19) is a `false` cell;
+//! * the same soundness argument applies to the robustness column: every
+//!   `"robust"` cell must be an equal-outcome-set row, and every
+//!   divergent golden row must read `"cycle"` or `"unknown"` — this is
+//!   re-checked exhaustively (not just on golden rows) by
+//!   `robust_differential.rs`;
 //! * `broken-incr` is certified under every model *despite* its races:
 //!   each thread's load→store chain is data-dependent and same-address,
 //!   so the guaranteed order is already total — SC-equivalence does not
@@ -25,7 +34,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use samm::analyze::{certify, find_races};
+use samm::analyze::{analyze_static, certify, find_races, StaticVerdict};
 use samm::core::instr::Program;
 use samm::core::policy::Policy;
 use samm::litmus::{catalog, parser, CatalogEntry};
@@ -40,19 +49,26 @@ fn models() -> [(&'static str, Policy); 4] {
     ]
 }
 
-/// One golden row: race counts and certificate presence per model, in
-/// `[sc, tso, pso, weak]` order.
+/// One golden row: race counts, certificate presence and robustness
+/// verdict name per model, in `[sc, tso, pso, weak]` order.
 struct Golden {
     name: &'static str,
     races: [usize; 4],
     certified: [bool; 4],
+    robust: [&'static str; 4],
 }
 
-const fn row(name: &'static str, races: [usize; 4], certified: [bool; 4]) -> Golden {
+const fn row(
+    name: &'static str,
+    races: [usize; 4],
+    certified: [bool; 4],
+    robust: [&'static str; 4],
+) -> Golden {
     Golden {
         name,
         races,
         certified,
+        robust,
     }
 }
 
@@ -60,30 +76,62 @@ const fn row(name: &'static str, races: [usize; 4], certified: [bool; 4]) -> Gol
 const GOLDEN_FILES: &[Golden] = &[
     // Competing CAS pair on the lock; the guarded accesses are
     // straight-line and totally ordered, so every model is SC-equivalent.
-    row("cas_mutex.litmus", [1, 1, 1, 1], [true, true, true, true]),
+    row(
+        "cas_mutex.litmus",
+        [1, 1, 1, 1],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // Two FAAs on one counter: an atomic race, but RMWs order totally.
-    row("faa_counter.litmus", [1, 1, 1, 1], [true, true, true, true]),
+    row(
+        "faa_counter.litmus",
+        [1, 1, 1, 1],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // Four cross-thread read/write pairs on x and y; the reader-side
     // fences make each thread's memory order total under every model.
-    row("iriw_fenced.litmus", [4, 4, 4, 4], [true, true, true, true]),
+    row(
+        "iriw_fenced.litmus",
+        [4, 4, 4, 4],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // Load-buffering with a data dependency: the dependency itself is the
     // guaranteed edge, no fences needed.
-    row("lb_data.litmus", [2, 2, 2, 2], [true, true, true, true]),
-    row("mp_fenced.litmus", [2, 2, 2, 2], [true, true, true, true]),
+    row(
+        "lb_data.litmus",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "mp_fenced.litmus",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // Pointer publication: the published address is only known
-    // dynamically, so the analyzer must refuse to certify.
+    // dynamically, so both analyzers must refuse to certify.
     row(
         "pointer_publish.litmus",
         [3, 3, 3, 3],
         [false, false, false, false],
+        ["unknown", "unknown", "unknown", "unknown"],
     ),
-    row("sb_fenced.litmus", [2, 2, 2, 2], [true, true, true, true]),
-    // Lock handoff via swap: branches (spin loop) block the total-order
-    // certificate shape.
+    row(
+        "sb_fenced.litmus",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    // Lock handoff via swap: branches (spin loop) block both certificate
+    // shapes.
     row(
         "swap_lock_handoff.litmus",
         [3, 3, 3, 3],
         [false, false, false, false],
+        ["unknown", "unknown", "unknown", "unknown"],
     ),
 ];
 
@@ -91,46 +139,172 @@ const GOLDEN_FILES: &[Golden] = &[
 const GOLDEN_CATALOG: &[Golden] = &[
     // Unfenced SB: the store→load pairs are unordered under every weak
     // model, and outcome sets genuinely diverge (golden: weak adds 0/0).
-    row("SB", [2, 2, 2, 2], [true, false, false, false]),
-    row("SB+fences", [2, 2, 2, 2], [true, true, true, true]),
+    row(
+        "SB",
+        [2, 2, 2, 2],
+        [true, false, false, false],
+        ["robust", "cycle", "cycle", "cycle"],
+    ),
+    row(
+        "SB+fences",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // TSO keeps both store→store and load→load order, so MP is already
     // SC-equivalent there; PSO relaxes the stores and must enumerate.
-    row("MP", [2, 2, 2, 2], [true, true, false, false]),
-    row("MP+fences", [2, 2, 2, 2], [true, true, true, true]),
-    row("MP+wfence", [2, 2, 2, 2], [true, true, true, false]),
-    row("MP+rfence", [2, 2, 2, 2], [true, true, false, false]),
-    row("LB", [2, 2, 2, 2], [true, true, true, false]),
-    row("LB+data", [2, 2, 2, 2], [true, true, true, true]),
-    row("CoRR", [2, 2, 2, 2], [true, true, true, false]),
-    row("IRIW", [4, 4, 4, 4], [true, true, true, false]),
-    row("IRIW+fences", [4, 4, 4, 4], [true, true, true, true]),
-    row("WRC", [3, 3, 3, 3], [true, true, true, false]),
-    row("WRC+fences", [3, 3, 3, 3], [true, true, true, true]),
-    row("CAS-mutex", [1, 1, 1, 1], [true, true, true, true]),
-    row("FAA-incr", [1, 1, 1, 1], [true, true, true, true]),
+    row(
+        "MP",
+        [2, 2, 2, 2],
+        [true, true, false, false],
+        ["robust", "robust", "cycle", "cycle"],
+    ),
+    row(
+        "MP+fences",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    // Fenced MP plus thread-private scratch traffic: the scratch
+    // store→load pair is a Bypass edge under TSO/PSO (declining TLO) and
+    // the scratch stores float under PSO/weak, yet no critical cycle
+    // survives the fences — the robustness layer certifies what the
+    // DRF/TLO layer cannot.
+    row(
+        "MP+fences+scratch",
+        [2, 2, 2, 2],
+        [true, false, false, false],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "MP+wfence",
+        [2, 2, 2, 2],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
+    row(
+        "MP+rfence",
+        [2, 2, 2, 2],
+        [true, true, false, false],
+        ["robust", "robust", "cycle", "cycle"],
+    ),
+    row(
+        "LB",
+        [2, 2, 2, 2],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
+    row(
+        "LB+data",
+        [2, 2, 2, 2],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "CoRR",
+        [2, 2, 2, 2],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
+    row(
+        "IRIW",
+        [4, 4, 4, 4],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
+    row(
+        "IRIW+fences",
+        [4, 4, 4, 4],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "WRC",
+        [3, 3, 3, 3],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
+    row(
+        "WRC+fences",
+        [3, 3, 3, 3],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "CAS-mutex",
+        [1, 1, 1, 1],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "FAA-incr",
+        [1, 1, 1, 1],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // Racy AND certified: the non-atomic increment diverges from no
     // model (load→store is data-dependent and same-address), it is just
     // wrong under all of them equally.
-    row("broken-incr", [3, 3, 3, 3], [true, true, true, true]),
+    row(
+        "broken-incr",
+        [3, 3, 3, 3],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
     // The RMW halves make SB+swap's weak behaviour genuinely richer than
     // SC's (golden: 4 vs 3 outcomes) — certifying weak here would be a
     // false certificate, so this row is load-bearing.
-    row("SB+swap", [2, 2, 2, 2], [true, true, true, false]),
+    row(
+        "SB+swap",
+        [2, 2, 2, 2],
+        [true, true, true, false],
+        ["robust", "robust", "robust", "cycle"],
+    ),
     // fig3 has a same-address store→load pair: SameAddr (guaranteed)
     // under weak, but Bypass (never guaranteed) under TSO/PSO — the
     // certifier declines the bypass models conservatively even though
     // their outcome sets match SC's.
-    row("fig3", [4, 4, 4, 4], [true, false, false, true]),
-    row("fig4", [4, 4, 4, 4], [true, true, true, true]),
-    row("fig5", [8, 8, 8, 8], [true, false, false, false]),
-    row("fig7", [5, 5, 5, 5], [true, false, false, true]),
+    row(
+        "fig3",
+        [4, 4, 4, 4],
+        [true, false, false, true],
+        ["robust", "cycle", "cycle", "robust"],
+    ),
+    row(
+        "fig4",
+        [4, 4, 4, 4],
+        [true, true, true, true],
+        ["robust", "robust", "robust", "robust"],
+    ),
+    row(
+        "fig5",
+        [8, 8, 8, 8],
+        [true, false, false, false],
+        ["robust", "cycle", "cycle", "cycle"],
+    ),
+    row(
+        "fig7",
+        [5, 5, 5, 5],
+        [true, false, false, true],
+        ["robust", "cycle", "cycle", "robust"],
+    ),
     // fig8 branches and loads through published pointers: no certificate
     // anywhere, and SC's stronger table orders one same-thread pair the
     // weak tables leave racy (10 vs 11).
-    row("fig8", [10, 11, 11, 11], [false, false, false, false]),
+    row(
+        "fig8",
+        [10, 11, 11, 11],
+        [false, false, false, false],
+        ["unknown", "unknown", "unknown", "unknown"],
+    ),
     // The paper's TSO litmus: SC forbids what TSO allows (golden: 7 vs
     // 15 outcomes), so only the trivial SC row is certified.
-    row("fig10", [7, 7, 7, 7], [true, false, false, false]),
+    row(
+        "fig10",
+        [7, 7, 7, 7],
+        [true, false, false, false],
+        ["robust", "cycle", "cycle", "cycle"],
+    ),
 ];
 
 fn check(name: &str, program: &Program, golden: &Golden) {
@@ -153,6 +327,23 @@ fn check(name: &str, program: &Program, golden: &Golden) {
                 cert.check(program, &policy),
                 "{name} under {model_name}: emitted certificate fails its own check"
             );
+        }
+        let verdict = analyze_static(program, &policy);
+        assert_eq!(
+            verdict.name(),
+            golden.robust[i],
+            "{name} under {model_name}: robustness verdict drifted"
+        );
+        match &verdict {
+            StaticVerdict::Robust(cert) => assert!(
+                cert.check(program, &policy),
+                "{name} under {model_name}: robustness certificate fails its own check"
+            ),
+            StaticVerdict::CycleFound(cycle) => assert!(
+                cycle.check(program, &policy),
+                "{name} under {model_name}: reported critical cycle fails its own check"
+            ),
+            StaticVerdict::Unknown(_) => {}
         }
     }
 }
@@ -215,4 +406,44 @@ fn golden_tables_cover_the_whole_corpus_and_catalog() {
         entries, table,
         "catalog entries missing from the golden table"
     );
+}
+
+/// Prints the whole table in source form. Run with
+/// `cargo test --release --test golden_races -- --ignored --nocapture`
+/// and merge the rows back into the constants above (keep the comments).
+#[test]
+#[ignore = "generator for the GOLDEN tables"]
+fn regenerate_golden_tables() {
+    let print = |name: &str, program: &Program| {
+        let mut races = Vec::new();
+        let mut certified = Vec::new();
+        let mut robust = Vec::new();
+        for (_, policy) in models() {
+            races.push(find_races(program, &policy).races.len().to_string());
+            certified.push(certify(program, &policy).is_some().to_string());
+            robust.push(format!("\"{}\"", analyze_static(program, &policy).name()));
+        }
+        println!(
+            "    row(\"{name}\", [{}], [{}], [{}]),",
+            races.join(", "),
+            certified.join(", "),
+            robust.join(", ")
+        );
+    };
+    println!("GOLDEN_FILES:");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("litmus-tests");
+    let mut files: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".litmus"))
+        .collect();
+    files.sort();
+    for file in &files {
+        print(file, &corpus_file(file));
+    }
+    println!("GOLDEN_CATALOG:");
+    for entry in catalog::all() {
+        print(&entry.test.name, &entry.test.program);
+    }
 }

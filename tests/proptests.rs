@@ -380,6 +380,62 @@ proptest! {
         }
     }
 
+    /// Every `Robust` verdict of the static delay-set certifier matches
+    /// true behaviour-set equality against SC — the proptest face of the
+    /// zero-unsound-claims contract.
+    #[test]
+    fn robust_verdicts_match_behaviour_equality(seed in any::<u64>(), branchy in any::<bool>()) {
+        use samm::analyze::{analyze_static, StaticVerdict};
+        let prog = program_from_seed(seed, branchy);
+        for policy in [Policy::tso(), Policy::pso(), Policy::weak()] {
+            let weak = enumerate_pruned(&prog, &policy, &quick_config()).unwrap().outcomes;
+            let sc = enumerate_pruned(&prog, &Policy::sequential_consistency(), &quick_config())
+                .unwrap().outcomes;
+            match analyze_static(&prog, &policy) {
+                StaticVerdict::Robust(cert) => {
+                    prop_assert!(cert.check(&prog, &policy),
+                                 "certificate fails its own check under {}", policy.name());
+                    prop_assert_eq!(
+                        &weak, &sc,
+                        "unsound robust claim under {}", policy.name()
+                    );
+                }
+                StaticVerdict::CycleFound(cycle) => {
+                    prop_assert!(cycle.check(&prog, &policy),
+                                 "reported cycle fails its own check under {}", policy.name());
+                }
+                StaticVerdict::Unknown(_) => {}
+            }
+        }
+    }
+
+    /// Every critical cycle the dynamic layer confirms is realizable:
+    /// its witness outcome lies in outcomes(M) ∖ outcomes(SC), and a
+    /// `NotRobust` verdict never fires on behaviour-equal pairs.
+    #[test]
+    fn confirmed_cycles_are_realizable(seed in any::<u64>(), branchy in any::<bool>()) {
+        use samm::analyze::{analyze_robustness, Robustness};
+        let prog = program_from_seed(seed, branchy);
+        for policy in [Policy::tso(), Policy::weak()] {
+            let weak = enumerate_pruned(&prog, &policy, &quick_config()).unwrap().outcomes;
+            let sc = enumerate_pruned(&prog, &Policy::sequential_consistency(), &quick_config())
+                .unwrap().outcomes;
+            match analyze_robustness(&prog, &policy, &quick_config()).unwrap() {
+                Robustness::Robust(_) => {
+                    prop_assert_eq!(&weak, &sc,
+                                    "unsound dynamic robust claim under {}", policy.name());
+                }
+                Robustness::NotRobust { cycle, witness } => {
+                    prop_assert!(cycle.check(&prog, &policy));
+                    prop_assert!(weak.contains(&witness) && !sc.contains(&witness),
+                                 "witness {} not in the weak-minus-SC difference under {}",
+                                 witness, policy.name());
+                }
+                Robustness::Unknown(_) => {}
+            }
+        }
+    }
+
     /// The coherence simulator always satisfies Store Atomicity and SC.
     #[test]
     fn coherence_runs_are_store_atomic(seed in any::<u64>(), schedule in any::<u64>()) {
