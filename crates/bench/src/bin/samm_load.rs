@@ -1,31 +1,43 @@
 //! `samm-load` — load generator for the `samm-serve` litmus-query
 //! service.
 //!
-//! Replays enumerate queries for a catalog subset against a running
-//! server at a configurable concurrency, one pass after another, and
-//! reports per-pass throughput, latency percentiles, and cache hit
-//! rate. With the default two passes the first is the cold (cache-
-//! filling) pass and the second demonstrates the warm hit rate.
+//! Replays enumerate queries for a catalog subset against one or more
+//! running servers at a configurable concurrency, one pass after
+//! another, and reports per-pass throughput, latency percentiles, and
+//! cache hit rate. With the default two passes the first is the cold
+//! (cache-filling) pass and the second demonstrates the warm hit rate.
 //!
 //! Latencies are recorded into the lock-free
 //! [`samm_core::telemetry::Histogram`] — the same log-linear structure
 //! the server uses — so workers never serialise on a mutex and the
 //! reported quantiles carry the histogram's documented ≤ 1/16 relative
 //! error instead of the exact-but-contended sorted-vector approach.
+//! Success responses are tallied by scanning the raw line rather than
+//! parsing it (see [`PassCounters::tally_line`]), so the generator
+//! keeps up with a warm batch-mode server on a single core.
 //!
 //! ```text
-//! samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]
+//! samm-load [--addr HOST:PORT] [--endpoints A:P,B:P,...]
+//!           [--concurrency N] [--passes N] [--batch N]
 //!           [--subset catalog-small|catalog|figures]
 //!           [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]
 //! ```
+//!
+//! `--endpoints` takes a comma-separated list of servers (e.g. the
+//! members of a cluster); workers are spread across them round-robin
+//! and `--shutdown` drains them all. `--batch N` wraps every N
+//! requests in one `{"kind":"batch"}` envelope, so a pass costs
+//! `ceil(requests/N)` round trips instead of `requests`; the reported
+//! latency quantiles are then per *batch*, while throughput and hit
+//! rate still count sub-responses. Responses carrying
+//! `"forwarded":true` (answered by a peer on the owner's behalf) are
+//! tallied and printed as `forwarded responses: N`.
 //!
 //! Exits non-zero when any request failed at the protocol or transport
 //! level, so CI can assert a clean run. `--prom` scrapes the server's
 //! plain-HTTP Prometheus listener after the passes and validates the
 //! exposition with [`samm_core::telemetry::prom::check`] — a scrape
 //! failure or malformed exposition is also a non-zero exit.
-//! `--shutdown` sends a `{"kind":"shutdown"}` request after the last
-//! pass, draining the server.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -41,9 +53,10 @@ use samm_serve::json::Json;
 const TIMEOUT: Duration = Duration::from_secs(30);
 
 struct Options {
-    addr: String,
+    endpoints: Vec<String>,
     concurrency: usize,
     passes: usize,
+    batch: usize,
     subset: String,
     engine: String,
     prom: Option<String>,
@@ -53,9 +66,10 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
-            addr: "127.0.0.1:7477".to_owned(),
+            endpoints: vec!["127.0.0.1:7477".to_owned()],
             concurrency: 8,
             passes: 2,
+            batch: 1,
             subset: "catalog-small".to_owned(),
             engine: "serial".to_owned(),
             prom: None,
@@ -66,7 +80,8 @@ impl Default for Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: samm-load [--addr HOST:PORT] [--concurrency N] [--passes N]\n\
+        "usage: samm-load [--addr HOST:PORT] [--endpoints A:P,B:P,...]\n\
+         \x20                [--concurrency N] [--passes N] [--batch N]\n\
          \x20                [--subset catalog-small|catalog|figures]\n\
          \x20                [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]"
     );
@@ -84,11 +99,29 @@ fn parse_args() -> Options {
             })
         };
         match arg.as_str() {
-            "--addr" => opts.addr = take("--addr"),
+            "--addr" => opts.endpoints = vec![take("--addr")],
+            "--endpoints" => {
+                opts.endpoints = take("--endpoints")
+                    .split(',')
+                    .map(|e| e.trim().to_owned())
+                    .filter(|e| !e.is_empty())
+                    .collect();
+                if opts.endpoints.is_empty() {
+                    eprintln!("samm-load: --endpoints needs at least one HOST:PORT");
+                    usage();
+                }
+            }
             "--concurrency" => {
                 opts.concurrency = take("--concurrency").parse().unwrap_or_else(|_| usage())
             }
             "--passes" => opts.passes = take("--passes").parse().unwrap_or_else(|_| usage()),
+            "--batch" => {
+                opts.batch = take("--batch").parse().unwrap_or_else(|_| usage());
+                if opts.batch == 0 {
+                    eprintln!("samm-load: --batch must be at least 1");
+                    usage();
+                }
+            }
             "--subset" => opts.subset = take("--subset"),
             "--engine" => opts.engine = take("--engine"),
             "--prom" => opts.prom = Some(take("--prom")),
@@ -151,7 +184,9 @@ fn workload(entries: &[CatalogEntry], engine: &str) -> Vec<String> {
 
 struct PassTally {
     latencies: HistogramSnapshot,
+    served: u64,
     hits: u64,
+    forwarded: u64,
     errors: u64,
 }
 
@@ -160,44 +195,137 @@ fn quantile_ms(snap: &HistogramSnapshot, q: f64) -> f64 {
     snap.quantile(q) as f64 / 1e6
 }
 
-/// Replays `lines` with `concurrency` connections; every worker owns
-/// one connection, pulls the next request index atomically, and records
-/// its latencies straight into the shared lock-free histogram.
-fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally {
-    let next = AtomicUsize::new(0);
-    let hits = AtomicU64::new(0);
-    let errors = AtomicU64::new(0);
-    let latencies = Histogram::new();
+/// Shared per-pass counters the worker threads update.
+struct PassCounters {
+    next: AtomicUsize,
+    served: AtomicU64,
+    hits: AtomicU64,
+    forwarded: AtomicU64,
+    errors: AtomicU64,
+    latencies: Histogram,
+}
+
+impl PassCounters {
+    fn new() -> Self {
+        PassCounters {
+            next: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Histogram::new(),
+        }
+    }
+
+    /// Tallies one raw response line without building its value tree.
+    ///
+    /// On the happy path — every slot a success — the tallied fields
+    /// (`ok`, `cache_hit`, `forwarded`) are flat `"name":true` members
+    /// that never occur inside the string payloads of a success
+    /// response, so substring counting is exact and skips the JSON
+    /// parse that would otherwise dominate a warm-cache load run.
+    /// Anything that does not look like a clean success (an `ok:false`
+    /// anywhere, or a surprising success count) takes the slow path:
+    /// a full parse with precise per-slot error reporting.
+    ///
+    /// `slots` is the batch size, or 0 for a bare (unbatched) request.
+    fn tally_line(&self, line: &str, slots: usize) {
+        let expected_ok = if slots == 0 { 1 } else { slots + 1 };
+        if !line.contains("\"ok\":false") && line.matches("\"ok\":true").count() == expected_ok {
+            self.served
+                .fetch_add(slots.max(1) as u64, Ordering::Relaxed);
+            let hits = line.matches("\"cache_hit\":true").count() as u64;
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+            let forwarded = line.matches("\"forwarded\":true").count() as u64;
+            self.forwarded.fetch_add(forwarded, Ordering::Relaxed);
+            return;
+        }
+        let response = match samm_serve::json::parse(line) {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("samm-load: unparseable response: {e}");
+                self.errors
+                    .fetch_add(slots.max(1) as u64, Ordering::Relaxed);
+                return;
+            }
+        };
+        if slots == 0 {
+            self.tally_response(&response);
+        } else if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            let empty = Vec::new();
+            let subs = response
+                .get("responses")
+                .and_then(Json::as_arr)
+                .unwrap_or(&empty);
+            for slot in subs {
+                self.tally_response(slot);
+            }
+        } else {
+            eprintln!("samm-load: batch rejected: {response}");
+            self.errors.fetch_add(slots as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Tallies one parsed server answer (a top-level response or a
+    /// batch slot) — the slow path of [`PassCounters::tally_line`].
+    fn tally_response(&self, response: &Json) {
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("samm-load: error response: {response}");
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if response.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if response.get("forwarded").and_then(Json::as_bool) == Some(true) {
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Replays `lines` with `concurrency` connections spread round-robin
+/// over `addrs`; every worker owns one connection, pulls the next
+/// request index (or batch of indices) atomically, and records its
+/// latencies straight into the shared lock-free histogram.
+fn run_pass(addrs: &[SocketAddr], lines: &[String], concurrency: usize, batch: usize) -> PassTally {
+    let counters = PassCounters::new();
     std::thread::scope(|scope| {
-        for _ in 0..concurrency.max(1) {
-            scope.spawn(|| {
+        for worker in 0..concurrency.max(1) {
+            let counters = &counters;
+            let addr = addrs[worker % addrs.len()];
+            scope.spawn(move || {
                 let mut client = match Client::connect(addr, TIMEOUT) {
                     Ok(c) => c,
                     Err(e) => {
-                        eprintln!("samm-load: connect failed: {e}");
-                        errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("samm-load: connect {addr}: {e}");
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                 };
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(line) = lines.get(i) else { break };
+                    let start = counters.next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= lines.len() {
+                        break;
+                    }
+                    let chunk = &lines[start..(start + batch).min(lines.len())];
+                    let line = if batch == 1 {
+                        chunk[0].clone()
+                    } else {
+                        format!("{{\"kind\":\"batch\",\"requests\":[{}]}}", chunk.join(","))
+                    };
                     let started = Instant::now();
-                    match client.request_raw(line) {
+                    match client.request_line(&line) {
                         Ok(response) => {
-                            latencies.record_duration(started.elapsed());
-                            if response.get("ok").and_then(Json::as_bool) != Some(true) {
-                                eprintln!("samm-load: error response: {response}");
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            } else if response.get("cache_hit").and_then(Json::as_bool)
-                                == Some(true)
-                            {
-                                hits.fetch_add(1, Ordering::Relaxed);
-                            }
+                            counters.latencies.record_duration(started.elapsed());
+                            let slots = if batch == 1 { 0 } else { chunk.len() };
+                            counters.tally_line(&response, slots);
                         }
                         Err(e) => {
                             eprintln!("samm-load: transport error: {e}");
-                            errors.fetch_add(1, Ordering::Relaxed);
+                            counters
+                                .errors
+                                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
                         }
                     }
                 }
@@ -205,9 +333,11 @@ fn run_pass(addr: SocketAddr, lines: &[String], concurrency: usize) -> PassTally
         }
     });
     PassTally {
-        latencies: latencies.snapshot(),
-        hits: hits.into_inner(),
-        errors: errors.into_inner(),
+        latencies: counters.latencies.snapshot(),
+        served: counters.served.into_inner(),
+        hits: counters.hits.into_inner(),
+        forwarded: counters.forwarded.into_inner(),
+        errors: counters.errors.into_inner(),
     }
 }
 
@@ -263,41 +393,49 @@ fn scrape_prom(addr: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let addr: SocketAddr = match opts.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
-        Some(addr) => addr,
-        None => {
-            eprintln!("samm-load: cannot resolve '{}'", opts.addr);
-            return ExitCode::FAILURE;
+    let mut addrs = Vec::new();
+    for endpoint in &opts.endpoints {
+        match endpoint.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(addr) => addrs.push(addr),
+            None => {
+                eprintln!("samm-load: cannot resolve '{endpoint}'");
+                return ExitCode::FAILURE;
+            }
         }
-    };
+    }
     let entries = subset_entries(&opts.subset);
     let lines = workload(&entries, &opts.engine);
     println!(
-        "samm-load: {} requests/pass ({} tests, subset {}), {} pass(es), concurrency {}",
+        "samm-load: {} requests/pass ({} tests, subset {}), {} pass(es), \
+         concurrency {}, batch {}, {} endpoint(s)",
         lines.len(),
         entries.len(),
         opts.subset,
         opts.passes,
-        opts.concurrency
+        opts.concurrency,
+        opts.batch,
+        addrs.len(),
     );
 
     let mut total_errors = 0u64;
     let mut total_hits = 0u64;
+    let mut total_forwarded = 0u64;
     for pass in 1..=opts.passes.max(1) {
         let started = Instant::now();
-        let tally = run_pass(addr, &lines, opts.concurrency);
+        let tally = run_pass(&addrs, &lines, opts.concurrency, opts.batch);
         let wall = started.elapsed();
-        let served = tally.latencies.count;
-        let hit_rate = if served == 0 {
+        let hit_rate = if tally.served == 0 {
             0.0
         } else {
-            100.0 * tally.hits as f64 / served as f64
+            100.0 * tally.hits as f64 / tally.served as f64
         };
+        let unit = if opts.batch == 1 { "req" } else { "batch" };
         println!(
-            "pass {pass}: {served} ok in {:.3}s ({:.1} req/s) hit-rate {hit_rate:.1}% \
-             p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms max {:.2}ms errors {}",
+            "pass {pass}: {} ok in {:.3}s ({:.1} req/s) hit-rate {hit_rate:.1}% \
+             p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms max {:.2}ms per {unit}, errors {}",
+            tally.served,
             wall.as_secs_f64(),
-            served as f64 / wall.as_secs_f64().max(1e-9),
+            tally.served as f64 / wall.as_secs_f64().max(1e-9),
             quantile_ms(&tally.latencies, 0.50),
             quantile_ms(&tally.latencies, 0.90),
             quantile_ms(&tally.latencies, 0.99),
@@ -306,8 +444,10 @@ fn main() -> ExitCode {
         );
         total_errors += tally.errors;
         total_hits += tally.hits;
+        total_forwarded += tally.forwarded;
     }
     println!("total cache hits: {total_hits}");
+    println!("forwarded responses: {total_forwarded}");
     println!("total protocol errors: {total_errors}");
 
     if let Some(prom_addr) = &opts.prom {
@@ -318,19 +458,21 @@ fn main() -> ExitCode {
     }
 
     if opts.shutdown {
-        match Client::connect(addr, TIMEOUT)
-            .and_then(|mut c| c.request_raw("{\"kind\":\"shutdown\"}"))
-        {
-            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
-                println!("server draining");
-            }
-            Ok(response) => {
-                eprintln!("samm-load: shutdown refused: {response}");
-                total_errors += 1;
-            }
-            Err(e) => {
-                eprintln!("samm-load: shutdown failed: {e}");
-                total_errors += 1;
+        for addr in &addrs {
+            match Client::connect(*addr, TIMEOUT)
+                .and_then(|mut c| c.request_raw("{\"kind\":\"shutdown\"}"))
+            {
+                Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    println!("{addr} draining");
+                }
+                Ok(response) => {
+                    eprintln!("samm-load: shutdown refused by {addr}: {response}");
+                    total_errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("samm-load: shutdown of {addr} failed: {e}");
+                    total_errors += 1;
+                }
             }
         }
     }

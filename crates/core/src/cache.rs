@@ -169,6 +169,18 @@ impl CacheStats {
     }
 }
 
+/// Point-in-time counters of one cache shard, for the per-shard
+/// Prometheus labels of the serving tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries resident in this shard.
+    pub entries: usize,
+    /// Lookups answered by this shard.
+    pub hits: u64,
+    /// Lookups that missed in this shard.
+    pub misses: u64,
+}
+
 /// A sharded, thread-safe LRU cache of enumeration answers.
 ///
 /// Lookups hash the [`Fingerprint`] to one of the mutex-protected shards,
@@ -181,6 +193,8 @@ pub struct EnumCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    shard_hits: Vec<AtomicU64>,
+    shard_misses: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for EnumCache {
@@ -221,27 +235,38 @@ impl EnumCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            shard_hits: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            shard_misses: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn shard_of(&self, fp: Fingerprint) -> &Mutex<Shard> {
+    fn shard_index(&self, fp: Fingerprint) -> usize {
         // The fingerprint is already a high-quality hash; fold the high
         // half in so shard choice uses all 128 bits.
         let raw = fp.raw();
-        let idx = ((raw >> 64) ^ raw) as usize % self.shards.len();
-        &self.shards[idx]
+        ((raw >> 64) ^ raw) as usize % self.shards.len()
+    }
+
+    fn shard_of(&self, fp: Fingerprint) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(fp)]
     }
 
     /// Looks up an answer, refreshing its LRU stamp on a hit.
     pub fn get(&self, fp: Fingerprint) -> Option<CachedResult> {
-        let found = self
-            .shard_of(fp)
+        let idx = self.shard_index(fp);
+        let found = self.shards[idx]
             .lock()
             .expect("cache shard poisoned")
             .touch(fp.raw());
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.shard_hits[idx].fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.shard_misses[idx].fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -289,6 +314,37 @@ impl EnumCache {
         self.len() == 0
     }
 
+    /// Whether `fp` is resident, without counting a hit/miss or
+    /// refreshing LRU recency — the cluster router's pre-check, which
+    /// must not skew the cache statistics of queries it never answers.
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.shard_of(fp)
+            .lock()
+            .expect("cache shard poisoned")
+            .entries
+            .contains_key(&fp.raw())
+    }
+
+    /// Number of shards in this cache's geometry.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard counters, indexed by shard, for per-shard exposition
+    /// labels. Hit/miss tallies are maintained per shard alongside the
+    /// global counters, so the per-shard rows always sum to the totals.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardStats {
+                entries: shard.lock().expect("cache shard poisoned").entries.len(),
+                hits: self.shard_hits[i].load(Ordering::Relaxed),
+                misses: self.shard_misses[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     /// A point-in-time snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -304,29 +360,47 @@ impl EnumCache {
     /// at [`EnumCache::load_from`], sorted by fingerprint for determinism.
     /// Returns the number of entries written.
     ///
+    /// The write is atomic: entries are written to a sibling `.tmp` file,
+    /// synced, and renamed over `path`, so a crash (or a kill mid-drain)
+    /// never leaves a truncated cache file behind — the previous file
+    /// survives intact until the rename commits the new one.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O failures from creating or writing the file.
+    /// Propagates I/O failures from creating, writing, syncing, or
+    /// renaming the file; on failure the partially written temporary is
+    /// removed best-effort and `path` is untouched.
     pub fn save_to(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let path = path.as_ref();
         let mut rows: Vec<(u128, CachedResult)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
             rows.extend(shard.entries.iter().map(|(&k, (_, v))| (k, v.clone())));
         }
         rows.sort_by_key(|(k, _)| *k);
-        let mut out = BufWriter::new(std::fs::File::create(path)?);
-        for (key, value) in &rows {
-            writeln!(
-                out,
-                "{}|{}|{}|{}|{}",
-                PERSIST_VERSION,
-                Fingerprint::from_raw(*key),
-                encode_stats(&value.stats),
-                encode_obs(&value.stats),
-                encode_outcomes(&value.outcomes),
-            )?;
-        }
-        out.flush()?;
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp: std::path::PathBuf = tmp_name.into();
+        let write_all = || -> std::io::Result<()> {
+            let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
+            for (key, value) in &rows {
+                writeln!(
+                    out,
+                    "{}|{}|{}|{}|{}",
+                    PERSIST_VERSION,
+                    Fingerprint::from_raw(*key),
+                    encode_stats(&value.stats),
+                    encode_obs(&value.stats),
+                    encode_outcomes(&value.outcomes),
+                )?;
+            }
+            out.flush()?;
+            out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write_all().inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
         Ok(rows.len())
     }
 
@@ -675,5 +749,61 @@ mod tests {
         assert_eq!(entry.distinct_executions(), 1);
         assert!(cache.get(Fingerprint::from_raw(7)).is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("samm-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("atomic-{}.cache", std::process::id()));
+        let tmp = dir.join(format!("atomic-{}.cache.tmp", std::process::id()));
+
+        // A pre-existing file simulates the previous generation's state;
+        // save_to must replace it wholesale, never append or truncate.
+        std::fs::write(&path, "garbage from a previous run\n").unwrap();
+
+        let cache = EnumCache::new(8);
+        let value = CachedResult {
+            outcomes: OutcomeSet::default(),
+            stats: EnumStats::default(),
+        };
+        cache.insert(Fingerprint::from_raw(1), value.clone());
+        cache.insert(Fingerprint::from_raw(2), value);
+        assert_eq!(cache.save_to(&path).unwrap(), 2);
+        assert!(!tmp.exists(), "temp file must be renamed away");
+
+        let restored = EnumCache::new(8);
+        let (loaded, skipped) = restored.load_from(&path).unwrap();
+        assert_eq!((loaded, skipped), (2, 0), "old contents must be gone");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_global_counters() {
+        let cache = EnumCache::with_shards(4, 16);
+        let value = CachedResult {
+            outcomes: OutcomeSet::default(),
+            stats: EnumStats::default(),
+        };
+        for n in 0..10u128 {
+            cache.insert(Fingerprint::from_raw(n), value.clone());
+        }
+        for n in 0..20u128 {
+            cache.get(Fingerprint::from_raw(n));
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), cache.shard_count());
+        let global = cache.stats();
+        assert_eq!(
+            per_shard.iter().map(|s| s.entries).sum::<usize>(),
+            global.entries
+        );
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), global.hits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            global.misses
+        );
+        assert_eq!(global.hits, 10);
+        assert_eq!(global.misses, 10);
     }
 }

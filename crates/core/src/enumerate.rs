@@ -165,12 +165,20 @@ impl EnumConfigBuilder {
 /// [`EnumConfig::parallelism`] explicitly; `SAMM_JOBS` is the fleet-wide
 /// fallback that lets CI and the service pin core usage without touching
 /// every invocation.
+///
+/// The answer is computed once per process: both the environment scan
+/// and `available_parallelism` (a syscall) are too slow for callers
+/// that build an [`EnumConfig`] per request, and neither input changes
+/// while the process runs.
 pub fn default_parallelism() -> usize {
-    std::env::var("SAMM_JOBS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SAMM_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Counters describing an enumeration run.

@@ -726,13 +726,37 @@ pub mod prom {
             le_nanos: &[u64],
             series: &[(&[(&str, &str)], &HistogramSnapshot)],
         ) {
+            self.histogram_scaled(name, help, le_nanos, series, 1e9);
+        }
+
+        /// A histogram family whose samples are plain values (batch
+        /// sizes, hop counts), exposed with the thresholds as given —
+        /// no unit scaling, unlike [`PromText::histogram_nanos`].
+        pub fn histogram_values(
+            &mut self,
+            name: &str,
+            help: &str,
+            le: &[u64],
+            series: &[(&[(&str, &str)], &HistogramSnapshot)],
+        ) {
+            self.histogram_scaled(name, help, le, series, 1.0);
+        }
+
+        fn histogram_scaled(
+            &mut self,
+            name: &str,
+            help: &str,
+            le_bounds: &[u64],
+            series: &[(&[(&str, &str)], &HistogramSnapshot)],
+            divisor: f64,
+        ) {
             self.header(name, help, "histogram");
             for (labels, snap) in series {
-                let cumulative = snap.cumulative_le(le_nanos);
-                for (bound, cum) in le_nanos.iter().zip(&cumulative) {
+                let cumulative = snap.cumulative_le(le_bounds);
+                for (bound, cum) in le_bounds.iter().zip(&cumulative) {
                     let mut with_le: Vec<(&str, String)> =
                         labels.iter().map(|(k, v)| (*k, (*v).to_owned())).collect();
-                    with_le.push(("le", render_value(*bound as f64 / 1e9)));
+                    with_le.push(("le", render_value(*bound as f64 / divisor)));
                     let borrowed: Vec<(&str, &str)> =
                         with_le.iter().map(|(k, v)| (*k, v.as_str())).collect();
                     self.out.push_str(&format!(
@@ -753,7 +777,7 @@ pub mod prom {
                 self.out.push_str(&format!(
                     "{name}_sum{} {}\n",
                     render_labels(&labels.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()),
-                    render_value(snap.sum as f64 / 1e9)
+                    render_value(snap.sum as f64 / divisor)
                 ));
                 self.out.push_str(&format!(
                     "{name}_count{} {}\n",

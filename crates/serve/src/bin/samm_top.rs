@@ -71,6 +71,19 @@ struct Sample {
     /// Per kind: (hit, miss, overbudget, errors, p50, p90, p99, max) —
     /// latencies in milliseconds.
     kinds: Vec<(String, [f64; 8])>,
+    /// Present when the server runs in cluster mode.
+    cluster: Option<ClusterSample>,
+}
+
+/// The `cluster` object of a cluster-mode `metrics` response.
+#[derive(Default, Clone)]
+struct ClusterSample {
+    self_id: String,
+    /// (node id, believed alive) for every ring member.
+    nodes: Vec<(String, bool)>,
+    forwards: f64,
+    fallbacks: f64,
+    singleflight_waits: f64,
 }
 
 fn num(value: Option<&Json>) -> f64 {
@@ -89,6 +102,33 @@ fn extract(metrics: &Json) -> Sample {
         sample.cache_hits = num(cache.get("hits"));
         sample.cache_misses = num(cache.get("misses"));
         sample.cache_entries = num(cache.get("entries"));
+    }
+    if let Some(cluster) = metrics.get("cluster") {
+        sample.cluster = Some(ClusterSample {
+            self_id: cluster
+                .get("self")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_owned(),
+            nodes: cluster
+                .get("nodes")
+                .and_then(Json::as_arr)
+                .map(|nodes| {
+                    nodes
+                        .iter()
+                        .map(|n| {
+                            (
+                                n.get("id").and_then(Json::as_str).unwrap_or("?").to_owned(),
+                                n.get("alive").and_then(Json::as_bool).unwrap_or(false),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            forwards: num(cluster.get("forwards")),
+            fallbacks: num(cluster.get("fallbacks")),
+            singleflight_waits: num(cluster.get("singleflight_waits")),
+        });
     }
     let Some(telemetry) = metrics.get("telemetry") else {
         return sample;
@@ -191,6 +231,22 @@ fn render(sample: &Sample, previous: Option<(&Sample, Duration)>, addr: &str) ->
         sample.forks as u64,
         sample.deduped as u64,
     ));
+    if let Some(cluster) = &sample.cluster {
+        let peers: Vec<String> = cluster
+            .nodes
+            .iter()
+            .filter(|(id, _)| *id != cluster.self_id)
+            .map(|(id, alive)| format!("{id}{}", if *alive { "" } else { "(down)" }))
+            .collect();
+        out.push_str(&format!(
+            "cluster  self {}  peers [{}]  forwards {}  fallbacks {}  sf-waits {}\n",
+            cluster.self_id,
+            peers.join(" "),
+            cluster.forwards as u64,
+            cluster.fallbacks as u64,
+            cluster.singleflight_waits as u64,
+        ));
+    }
     out.push('\n');
     out.push_str(&format!(
         "{:<12} {:>8} {:>8} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
@@ -295,6 +351,10 @@ mod tests {
         let line = r#"{"ok":true,"kind":"metrics","requests":7,"monitoring":2,
             "errors":1,"overloaded":0,
             "cache":{"hits":3,"misses":4,"evictions":0,"insertions":4,"entries":4,"hit_rate":0.4286},
+            "cluster":{"self":"node-a",
+              "nodes":[{"id":"node-a","alive":true},{"id":"node-b","alive":true},
+                       {"id":"node-c","alive":false}],
+              "forwards":12,"fallbacks":1,"singleflight_waits":3},
             "telemetry":{"uptime_secs":12.5,"queue_depth":1,"monitoring":2,
               "slow_queries":1,"rate_5s":0.8,
               "kinds":{"enumerate":{"hit":3,"miss":4,"overbudget":0,"errors":1,
@@ -315,9 +375,18 @@ mod tests {
         assert_eq!(k[0], 3.0);
         assert_eq!(k[4], 0.5);
 
+        let cluster = sample.cluster.as_ref().expect("cluster object extracted");
+        assert_eq!(cluster.self_id, "node-a");
+        assert_eq!(cluster.nodes.len(), 3);
+        assert_eq!(cluster.forwards, 12.0);
+
         let frame = render(&sample, None, "test:0");
         assert!(frame.contains("enumerate"));
         assert!(frame.contains("hit-rate"));
+        assert!(
+            frame.contains("self node-a  peers [node-b node-c(down)]"),
+            "{frame}"
+        );
 
         let mut later = sample.clone();
         later.requests = 17.0;

@@ -82,6 +82,20 @@ impl Client {
         self.read_response()
     }
 
+    /// Sends one raw request line without waiting for the response —
+    /// the pipelining building block. Pair with
+    /// [`Client::read_response`]; the server may answer pipelined
+    /// requests out of order, so match responses by their echoed `id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
     /// Sends a [`Json`] request object.
     ///
     /// # Errors
@@ -89,6 +103,19 @@ impl Client {
     /// As for [`Client::request_raw`].
     pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
         self.request_raw(&request.to_string())
+    }
+
+    /// As [`Client::request_raw`], returning the raw response line
+    /// unparsed. The hot path for load generation, where the caller
+    /// scans a few fields instead of building the full value tree.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and closed connections.
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response_line()
     }
 
     /// Reads one response line without sending anything — used to
@@ -99,11 +126,23 @@ impl Client {
     ///
     /// As for [`Client::request_raw`].
     pub fn read_response(&mut self) -> Result<Json, ClientError> {
+        let line = self.read_response_line()?;
+        json::parse(&line).map_err(ClientError::BadResponse)
+    }
+
+    /// Reads one raw response line (trailing newline stripped) without
+    /// parsing it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and closed connections.
+    pub fn read_response_line(&mut self) -> Result<String, ClientError> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
             return Err(ClientError::Closed);
         }
-        json::parse(response.trim()).map_err(ClientError::BadResponse)
+        response.truncate(response.trim_end().len());
+        Ok(response)
     }
 }

@@ -1,0 +1,374 @@
+//! Cluster mode: static membership, consistent-hash ownership, and
+//! peer forwarding with failure-driven rebalance.
+//!
+//! A cluster is a set of `samm-serve` nodes sharing one topology file
+//! (see `docs/CLUSTER.md`). Every node builds the same [`HashRing`]
+//! over the member ids, so each query fingerprint has exactly one owner
+//! everyone agrees on. A node answers keys it owns (or already has
+//! cached) locally and forwards the rest to the owner over the ordinary
+//! wire protocol with the `fwd` marker set — the owner never forwards
+//! again, so disagreeing ring views (mid-drain) cannot loop. A peer
+//! that fails a forward is marked dead for [`DEAD_RETRY`] and its ring
+//! arcs fall to their successors; the failed request is answered
+//! locally (fallback), so a draining or crashed node degrades service
+//! to local-compute rather than errors.
+
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use samm_core::fingerprint::Fingerprint;
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::protocol::{render_envelope, Envelope};
+use crate::ring::HashRing;
+
+/// How long a peer stays dead after a failed forward before the next
+/// forward attempt probes it again (half-open).
+pub const DEAD_RETRY: Duration = Duration::from_secs(5);
+
+/// One member of the topology file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Unique node id (the `--node` flag selects ours).
+    pub id: String,
+    /// The node's serving address.
+    pub addr: SocketAddr,
+}
+
+/// Parsed topology plus our own identity.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Every member, in file order.
+    pub nodes: Vec<NodeSpec>,
+    /// Index of this node in `nodes`.
+    pub self_index: usize,
+    /// Per-forward connect/read timeout.
+    pub peer_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Parses a topology file: one `node-id address` pair per line,
+    /// `#` comments and blank lines ignored. `self_id` must name one
+    /// of the members.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, syntax errors, duplicate ids, unknown `self_id`,
+    /// or fewer than two members.
+    pub fn from_file(path: &Path, self_id: &str) -> std::io::Result<ClusterConfig> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text, self_id)
+    }
+
+    /// As [`ClusterConfig::from_file`], from in-memory text.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClusterConfig::from_file`].
+    pub fn parse(text: &str, self_id: &str) -> std::io::Result<ClusterConfig> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut nodes: Vec<NodeSpec> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(id), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(bad(format!(
+                    "topology line {}: expected 'node-id address', got '{line}'",
+                    lineno + 1
+                )));
+            };
+            let addr: SocketAddr = addr.parse().map_err(|e| {
+                bad(format!(
+                    "topology line {}: bad address '{addr}': {e}",
+                    lineno + 1
+                ))
+            })?;
+            if nodes.iter().any(|n| n.id == id) {
+                return Err(bad(format!("duplicate node id '{id}'")));
+            }
+            nodes.push(NodeSpec {
+                id: id.to_owned(),
+                addr,
+            });
+        }
+        if nodes.len() < 2 {
+            return Err(bad(format!(
+                "topology must list at least two nodes, found {}",
+                nodes.len()
+            )));
+        }
+        let self_index = nodes
+            .iter()
+            .position(|n| n.id == self_id)
+            .ok_or_else(|| bad(format!("'--node {self_id}' is not in the topology file")))?;
+        Ok(ClusterConfig {
+            nodes,
+            self_index,
+            peer_timeout: Duration::from_secs(10),
+        })
+    }
+}
+
+/// One peer's connection pool plus its liveness state.
+#[derive(Debug, Default)]
+struct Peer {
+    /// Idle connections, reused across forwards.
+    pool: Mutex<Vec<Client>>,
+    /// Set on forward failure; cleared after [`DEAD_RETRY`] or a
+    /// successful probe.
+    last_failure: Mutex<Option<Instant>>,
+}
+
+/// Live cluster state: the ring, peer pools, and liveness marks.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+    self_index: usize,
+    ring: HashRing,
+    peers: Vec<Peer>,
+    peer_timeout: Duration,
+}
+
+/// A point-in-time cluster view for the `metrics` response and the
+/// exposition.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// This node's id.
+    pub self_id: String,
+    /// Every member: (id, currently considered alive).
+    pub nodes: Vec<(String, bool)>,
+}
+
+impl Cluster {
+    /// Builds the ring and empty peer pools from a parsed config.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        let ids: Vec<String> = config.nodes.iter().map(|n| n.id.clone()).collect();
+        let peers = config.nodes.iter().map(|_| Peer::default()).collect();
+        Cluster {
+            ring: HashRing::build(&ids),
+            nodes: config.nodes,
+            self_index: config.self_index,
+            peers,
+            peer_timeout: config.peer_timeout,
+        }
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> &str {
+        &self.nodes[self.self_index].id
+    }
+
+    /// The id of node `index`.
+    pub fn node_id(&self, index: usize) -> &str {
+        &self.nodes[index].id
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the membership is empty (never true for a parsed
+    /// config, which requires two nodes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn is_alive(&self, index: usize) -> bool {
+        if index == self.self_index {
+            return true;
+        }
+        let last = self.peers[index]
+            .last_failure
+            .lock()
+            .expect("peer liveness poisoned");
+        match *last {
+            Some(at) => at.elapsed() >= DEAD_RETRY,
+            None => true,
+        }
+    }
+
+    /// The node that owns `fp` under the current liveness view. Falls
+    /// back to this node when every peer is dead.
+    pub fn owner_of(&self, fp: Fingerprint) -> usize {
+        self.ring
+            .route_filtered(fp.raw(), |node| self.is_alive(node))
+            .unwrap_or(self.self_index)
+    }
+
+    /// Whether this node owns `fp`.
+    pub fn owns(&self, fp: Fingerprint) -> bool {
+        self.owner_of(fp) == self.self_index
+    }
+
+    fn mark_dead(&self, index: usize) {
+        *self.peers[index]
+            .last_failure
+            .lock()
+            .expect("peer liveness poisoned") = Some(Instant::now());
+    }
+
+    fn mark_alive(&self, index: usize) {
+        *self.peers[index]
+            .last_failure
+            .lock()
+            .expect("peer liveness poisoned") = None;
+    }
+
+    /// Forwards `env` to node `owner` with the `fwd` marker set and
+    /// returns the peer's response. On any transport failure the peer
+    /// is marked dead and `None` returned — the caller answers
+    /// locally; the failure itself is recorded on the peer's liveness
+    /// mark, so no error detail is surfaced here.
+    pub fn forward(&self, owner: usize, env: &Envelope) -> Option<Json> {
+        debug_assert_ne!(owner, self.self_index, "never forward to self");
+        let mut forwarded = env.clone();
+        forwarded.fwd = true;
+        let line = render_envelope(&forwarded).to_string();
+        let pooled = self.peers[owner]
+            .pool
+            .lock()
+            .expect("peer pool poisoned")
+            .pop();
+        let mut client = match pooled {
+            Some(client) => client,
+            None => match Client::connect(self.nodes[owner].addr, self.peer_timeout) {
+                Ok(client) => client,
+                Err(_) => {
+                    self.mark_dead(owner);
+                    return None;
+                }
+            },
+        };
+        match client.request_raw(&line) {
+            Ok(response) => {
+                self.mark_alive(owner);
+                self.peers[owner]
+                    .pool
+                    .lock()
+                    .expect("peer pool poisoned")
+                    .push(client);
+                Some(response)
+            }
+            Err(_) => {
+                // The pooled connection may simply have idled out;
+                // retry once on a fresh connection before declaring
+                // the peer dead.
+                drop(client);
+                match Client::connect(self.nodes[owner].addr, self.peer_timeout)
+                    .and_then(|mut fresh| fresh.request_raw(&line).map(|r| (fresh, r)))
+                {
+                    Ok((fresh, response)) => {
+                        self.mark_alive(owner);
+                        self.peers[owner]
+                            .pool
+                            .lock()
+                            .expect("peer pool poisoned")
+                            .push(fresh);
+                        Some(response)
+                    }
+                    Err(_) => {
+                        self.mark_dead(owner);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current membership/liveness view.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            self_id: self.self_id().to_owned(),
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.id.clone(), self.is_alive(i)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPO: &str = "# test ring\nn1 127.0.0.1:7101\nn2 127.0.0.1:7102\n\nn3 127.0.0.1:7103\n";
+
+    #[test]
+    fn topology_parses_and_identifies_self() {
+        let config = ClusterConfig::parse(TOPO, "n2").unwrap();
+        assert_eq!(config.nodes.len(), 3);
+        assert_eq!(config.self_index, 1);
+        assert_eq!(config.nodes[2].id, "n3");
+        assert_eq!(config.nodes[2].addr, "127.0.0.1:7103".parse().unwrap());
+    }
+
+    #[test]
+    fn topology_rejects_bad_input() {
+        for (text, own) in [
+            ("n1 127.0.0.1:1 extra\nn2 127.0.0.1:2\n", "n1"),
+            ("n1 not-an-addr\nn2 127.0.0.1:2\n", "n1"),
+            ("n1 127.0.0.1:1\nn1 127.0.0.1:2\n", "n1"),
+            ("n1 127.0.0.1:1\n", "n1"),
+            (TOPO, "n9"),
+        ] {
+            assert!(ClusterConfig::parse(text, own).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn ownership_is_consistent_across_members() {
+        let views: Vec<Cluster> = ["n1", "n2", "n3"]
+            .iter()
+            .map(|id| Cluster::new(ClusterConfig::parse(TOPO, id).unwrap()))
+            .collect();
+        let mut owned = [0usize; 3];
+        for key in 0..3_000u128 {
+            let fp = {
+                let mut h = samm_core::fingerprint::FingerprintHasher::new();
+                h.write_bytes(&key.to_le_bytes());
+                h.finish()
+            };
+            let owner = views[0].owner_of(fp);
+            for view in &views[1..] {
+                assert_eq!(view.owner_of(fp), owner, "ring views must agree");
+            }
+            assert!(views[owner].owns(fp), "the owner must claim its keys");
+            owned[owner] += 1;
+        }
+        assert!(owned.iter().all(|&n| n > 0), "skewed: {owned:?}");
+    }
+
+    #[test]
+    fn dead_peers_shift_ownership_until_retry() {
+        let cluster = Cluster::new(ClusterConfig::parse(TOPO, "n1").unwrap());
+        let fp = {
+            let mut h = samm_core::fingerprint::FingerprintHasher::new();
+            h.write_bytes(b"some key");
+            h.finish()
+        };
+        let primary = cluster.owner_of(fp);
+        if primary != cluster.self_index {
+            cluster.mark_dead(primary);
+            let fallback = cluster.owner_of(fp);
+            assert_ne!(fallback, primary, "dead owner must shed the key");
+            let snapshot = cluster.snapshot();
+            assert!(!snapshot.nodes[primary].1);
+            cluster.mark_alive(primary);
+            assert_eq!(cluster.owner_of(fp), primary);
+        }
+        // With every peer dead, all keys land here.
+        cluster.mark_dead(1);
+        cluster.mark_dead(2);
+        assert_eq!(cluster.owner_of(fp), cluster.self_index);
+        assert!(cluster.owns(fp));
+    }
+}

@@ -1,0 +1,849 @@
+//! The readiness-driven I/O core: N event loops multiplexing many
+//! connections over a shared handler pool.
+//!
+//! ```text
+//!            ┌ loop 0 (owns the listener) ── epoll/poll ── conns…
+//! clients ──►│ loop 1 ── epoll/poll ── conns…        │ parsed lines
+//!            └ loop … ──────────────────────────────▼
+//!                 ▲ completions (self-wake pipe)   shared job queue
+//!                 └─────────────────────────── M handler workers
+//! ```
+//!
+//! Each loop owns its connections outright: it reads newline-delimited
+//! requests as readiness allows — many per wakeup, so clients may
+//! pipeline — hands complete lines to the worker pool, and flushes
+//! finished responses back, possibly out of request order (clients
+//! match responses to requests by the echoed `id`). Backpressure is per
+//! connection: once `max_pipeline` requests are in flight the loop
+//! stops reading that socket until answers drain, letting TCP push back
+//! on the client. The accept path lives on loop 0 and hands new
+//! connections round-robin to the loops over their wake pipes; past
+//! `max_connections` a connection is answered with the structured
+//! `overloaded` error and closed.
+//!
+//! Shutdown (a wire `shutdown` request or [`EventHandle::shutdown`])
+//! stops accepting and reading, lets in-flight work finish within
+//! `drain_deadline`, flushes every pending response, then persists the
+//! cache — the same graceful-drain contract as the threaded core in
+//! [`crate::server`], which stays selectable via `--io threaded`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use samm_core::cache::EnumCache;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::handler::{self, ServerState};
+use crate::protocol::{parse_envelope, Request};
+use crate::server::{self, ServerConfig};
+use crate::sys::{Event, Interest, Poller, PollerKind};
+use crate::telemetry::{LoopGauges, Telemetry};
+
+/// Event-core construction parameters, layered over the shared
+/// [`ServerConfig`] (cache geometry, budget, persistence, telemetry).
+#[derive(Debug, Clone)]
+pub struct EventConfig {
+    /// Event-loop threads. Loop 0 also owns the listener.
+    pub loops: usize,
+    /// Open connections across all loops before new ones are rejected
+    /// with the structured `overloaded` error.
+    pub max_connections: usize,
+    /// In-flight requests per connection before the loop stops reading
+    /// that socket (pipelining backpressure).
+    pub max_pipeline: usize,
+    /// How long a graceful drain waits for in-flight work and pending
+    /// writes before forcing connections closed.
+    pub drain_deadline: Duration,
+    /// Readiness backend.
+    pub poller: PollerKind,
+    /// Cluster topology, when serving as a ring member.
+    pub cluster: Option<ClusterConfig>,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            loops: 1,
+            max_connections: 10_000,
+            max_pipeline: 64,
+            drain_deadline: Duration::from_secs(5),
+            poller: PollerKind::default_for_platform(),
+            cluster: None,
+        }
+    }
+}
+
+/// Poller token of the per-loop wake pipe.
+const WAKE_TOKEN: u64 = 0;
+/// Poller token of the listener (loop 0 only).
+const LISTEN_TOKEN: u64 = 1;
+/// First connection token.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Poll tick: idle scans and drain checks run at least this often.
+const TICK: Duration = Duration::from_millis(500);
+/// Hard cap on one request line (batch envelopes included); a longer
+/// unterminated line closes the connection as a framing violation.
+const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request line travelling to the worker pool.
+struct Job {
+    loop_id: usize,
+    conn_token: u64,
+    line: String,
+}
+
+/// One finished response travelling back to its loop.
+struct Completion {
+    conn_token: u64,
+    response: String,
+    /// The request was `shutdown`: flush this response, then drain.
+    begin_drain: bool,
+}
+
+/// The cross-thread face of one event loop.
+struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    /// New connections handed over by the accept path.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Write end of the loop's self-wake pipe.
+    wake: Mutex<UnixStream>,
+    gauges: Arc<LoopGauges>,
+}
+
+impl LoopShared {
+    /// Nudges the loop out of its poller wait. A full pipe is fine —
+    /// the loop is already due to wake.
+    fn wake(&self) {
+        let mut wake = self.wake.lock().expect("wake pipe poisoned");
+        let _ = wake.write(&[1u8]);
+    }
+}
+
+/// State shared by every loop, worker, and the handle.
+struct EventShared {
+    state: ServerState,
+    loops: Vec<LoopShared>,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_available: Condvar,
+    draining: AtomicBool,
+    loops_alive: AtomicUsize,
+    conn_count: AtomicUsize,
+    max_connections: usize,
+    max_pipeline: usize,
+    read_timeout: Duration,
+    drain_deadline: Duration,
+    retry_after_ms: u64,
+}
+
+impl EventShared {
+    /// Raises the drain flag and wakes every loop and worker.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for loop_shared in &self.loops {
+            loop_shared.wake();
+        }
+        // The lock round-trip orders the flag store against workers
+        // about to sleep on the condvar.
+        drop(self.jobs.lock().expect("jobs poisoned"));
+        self.jobs_available.notify_all();
+    }
+}
+
+/// A running event-core server; dropping the handle does NOT stop it —
+/// call [`EventHandle::shutdown`], or send a wire `shutdown` request
+/// and [`EventHandle::join`].
+pub struct EventHandle {
+    addr: SocketAddr,
+    prom_addr: Option<SocketAddr>,
+    shared: Arc<EventShared>,
+    loops: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    prom: Option<JoinHandle<()>>,
+    persist_path: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for EventHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventHandle")
+            .field("addr", &self.addr)
+            .field("loops", &self.loops.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl EventHandle {
+    /// The bound serving address (with the OS-chosen port when the
+    /// config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound Prometheus HTTP address, when `prom_addr` was
+    /// configured.
+    pub fn prom_addr(&self) -> Option<SocketAddr> {
+        self.prom_addr
+    }
+
+    /// Initiates a graceful drain and waits for every thread to exit,
+    /// persisting the cache when configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache persistence failures; thread panics surface as
+    /// [`std::io::ErrorKind::Other`].
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        self.shared.begin_drain();
+        self.join_inner()
+    }
+
+    /// Waits for the server to drain after a wire `shutdown` request,
+    /// then persists the cache when configured.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EventHandle::shutdown`].
+    pub fn join(mut self) -> std::io::Result<()> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> std::io::Result<()> {
+        for handle in self.loops.drain(..) {
+            handle
+                .join()
+                .map_err(|_| std::io::Error::other("event loop panicked"))?;
+        }
+        for handle in self.workers.drain(..) {
+            handle
+                .join()
+                .map_err(|_| std::io::Error::other("worker thread panicked"))?;
+        }
+        if let Some(prom) = self.prom.take() {
+            if let Some(addr) = self.prom_addr {
+                // Unblock the listener's accept so it can see the flag.
+                server::wake_acceptor(addr);
+            }
+            prom.join()
+                .map_err(|_| std::io::Error::other("prom thread panicked"))?;
+        }
+        if let Some(path) = &self.persist_path {
+            self.shared.state.cache.save_to(path)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binds the listener and spawns the event loops, the worker pool, and
+/// (when configured) the Prometheus listener.
+///
+/// # Errors
+///
+/// Propagates bind and poller-construction failures. A configured
+/// persistence file that does not exist yet is not an error (first
+/// run).
+pub fn start(config: ServerConfig, event: EventConfig) -> std::io::Result<EventHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let cache = EnumCache::with_shards(config.cache_shards.max(1), config.cache_capacity.max(1));
+    if let Some(path) = &config.persist_path {
+        if path.exists() {
+            cache.load_from(path)?;
+        }
+    }
+    let telemetry = match &config.slow_log {
+        Some(path) => Telemetry::with_slow_log(
+            path.clone(),
+            config.slow_threshold,
+            config.slow_log_max_bytes,
+        )?,
+        None => Telemetry::default(),
+    };
+    let mut state = ServerState::with_telemetry(cache, config.budget, telemetry, config.observe);
+    if let Some(cluster_config) = event.cluster.clone() {
+        state.set_cluster(Arc::new(Cluster::new(cluster_config)));
+    }
+
+    let prom_listener = config
+        .prom_addr
+        .as_deref()
+        .map(TcpListener::bind)
+        .transpose()?;
+    let prom_addr = prom_listener
+        .as_ref()
+        .map(TcpListener::local_addr)
+        .transpose()?;
+
+    // Build each loop's poller and wake pipe up front so a failure
+    // aborts before any thread spawns.
+    let loop_count = event.loops.max(1);
+    let mut pollers = Vec::with_capacity(loop_count);
+    let mut wake_readers = Vec::with_capacity(loop_count);
+    let mut loop_shareds = Vec::with_capacity(loop_count);
+    for _ in 0..loop_count {
+        let mut poller = Poller::new(event.poller)?;
+        let (wake_write, wake_read) = UnixStream::pair()?;
+        wake_read.set_nonblocking(true)?;
+        wake_write.set_nonblocking(true)?;
+        poller.register(wake_read.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
+        loop_shareds.push(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+            wake: Mutex::new(wake_write),
+            gauges: state.telemetry.register_loop(),
+        });
+        pollers.push(poller);
+        wake_readers.push(wake_read);
+    }
+
+    let shared = Arc::new(EventShared {
+        state,
+        loops: loop_shareds,
+        jobs: Mutex::new(VecDeque::new()),
+        jobs_available: Condvar::new(),
+        draining: AtomicBool::new(false),
+        loops_alive: AtomicUsize::new(loop_count),
+        conn_count: AtomicUsize::new(0),
+        max_connections: event.max_connections.max(1),
+        max_pipeline: event.max_pipeline.max(1),
+        read_timeout: config.read_timeout,
+        drain_deadline: event.drain_deadline,
+        retry_after_ms: 50,
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("samm-serve-handler-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let mut listener = Some(listener);
+    let loops = pollers
+        .into_iter()
+        .zip(wake_readers)
+        .enumerate()
+        .map(|(loop_id, (poller, wake_read))| {
+            let shared = Arc::clone(&shared);
+            let listener = if loop_id == 0 { listener.take() } else { None };
+            std::thread::Builder::new()
+                .name(format!("samm-serve-loop-{loop_id}"))
+                .spawn(move || EventLoop::new(loop_id, shared, poller, wake_read, listener).run())
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let prom = prom_listener
+        .map(|prom_listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("samm-serve-prom".to_owned())
+                .spawn(move || {
+                    server::prom_loop_shared(&prom_listener, &shared.state, || {
+                        shared.draining.load(Ordering::SeqCst)
+                    });
+                })
+        })
+        .transpose()?;
+
+    Ok(EventHandle {
+        addr,
+        prom_addr,
+        shared,
+        loops,
+        workers,
+        prom,
+        persist_path: config.persist_path,
+    })
+}
+
+/// One open connection owned by a loop.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Lines dispatched to the worker pool and not yet answered.
+    inflight: usize,
+    last_activity: Instant,
+    /// Read side finished (EOF or fatal read): flush, then close.
+    closing: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: 0,
+            last_activity: Instant::now(),
+            closing: false,
+            interest: Interest::READ,
+        }
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.inflight == 0 && !self.has_pending_write()
+    }
+
+    /// Reads until `WouldBlock` or EOF. Returns `true` when the
+    /// connection is dead (reset, or an oversized unterminated line).
+    fn fill_read_buf(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: no more requests; flush what remains.
+                    self.closing = true;
+                    return false;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if self.read_buf.len() > MAX_LINE_BYTES && !self.read_buf.contains(&b'\n') {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    fn flush_writes(&mut self) -> std::io::Result<()> {
+        while self.has_pending_write() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(std::io::Error::from(IoErrorKind::WriteZero)),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.has_pending_write() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        Ok(())
+    }
+}
+
+struct EventLoop {
+    id: usize,
+    shared: Arc<EventShared>,
+    poller: Poller,
+    wake_read: UnixStream,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    next_loop: usize,
+    drain_started: Option<Instant>,
+    last_idle_scan: Instant,
+}
+
+impl EventLoop {
+    fn new(
+        id: usize,
+        shared: Arc<EventShared>,
+        poller: Poller,
+        wake_read: UnixStream,
+        listener: Option<TcpListener>,
+    ) -> EventLoop {
+        EventLoop {
+            id,
+            shared,
+            poller,
+            wake_read,
+            listener,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            next_loop: 0,
+            drain_started: None,
+            last_idle_scan: Instant::now(),
+        }
+    }
+
+    fn gauges(&self) -> &Arc<LoopGauges> {
+        &self.shared.loops[self.id].gauges
+    }
+
+    fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener.as_raw_fd(), LISTEN_TOKEN, Interest::READ)
+                .is_err()
+            {
+                // Without an accept path the server is useless; drain.
+                self.shared.begin_drain();
+            }
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
+                // Poller failure is unrecoverable for this loop.
+                self.shared.begin_drain();
+            }
+            for &event in &events {
+                match event.token {
+                    WAKE_TOKEN => self.drain_wake_pipe(),
+                    LISTEN_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            self.apply_completions();
+            self.adopt_inbox();
+            self.scan_idle();
+            if self.shared.draining.load(Ordering::SeqCst) && self.drain() {
+                break;
+            }
+        }
+        // The last loop out wakes the workers so they can observe an
+        // empty queue with no remaining producers and exit.
+        if self.shared.loops_alive.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.jobs_available.notify_all();
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.wake_read.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// The accept path: loop 0 pulls connections until `WouldBlock`,
+    /// spreading them round-robin so every loop's share stays balanced.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => return,
+                Err(_) => continue,
+            };
+            if self.shared.draining.load(Ordering::SeqCst) {
+                // A late connection during drain: drop it.
+                continue;
+            }
+            if self.shared.conn_count.load(Ordering::SeqCst) >= self.shared.max_connections {
+                self.shared
+                    .state
+                    .counters
+                    .overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                server::reject_overloaded(stream, self.shared.retry_after_ms);
+                continue;
+            }
+            self.shared.conn_count.fetch_add(1, Ordering::SeqCst);
+            let target = self.next_loop % self.shared.loops.len();
+            self.next_loop = self.next_loop.wrapping_add(1);
+            if target == self.id {
+                self.adopt(stream);
+            } else {
+                self.shared.loops[target]
+                    .inbox
+                    .lock()
+                    .expect("inbox poisoned")
+                    .push(stream);
+                self.shared.loops[target].wake();
+            }
+        }
+    }
+
+    /// Takes ownership of connections the accept path handed over.
+    fn adopt_inbox(&mut self) {
+        let pending: Vec<TcpStream> = {
+            let mut inbox = self.shared.loops[self.id]
+                .inbox
+                .lock()
+                .expect("inbox poisoned");
+            inbox.drain(..).collect()
+        };
+        for stream in pending {
+            self.adopt(stream);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        // One-line responses must leave immediately; Nagle + delayed
+        // ACK otherwise adds ~40 ms per round trip on loopback.
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn::new(stream);
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), token, conn.interest)
+            .is_err()
+        {
+            self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.conns.insert(token, conn);
+        self.gauges().connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            self.gauges().connections.fetch_sub(1, Ordering::Relaxed);
+            // Jobs still in flight for this connection complete anyway;
+            // their completions are dropped in finish_completion.
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, event: Event) {
+        let dead = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.last_activity = Instant::now();
+            let mut dead = false;
+            if event.readable && !conn.closing {
+                dead = conn.fill_read_buf();
+            }
+            if event.writable {
+                dead = dead || conn.flush_writes().is_err();
+            }
+            // A pure hangup (no data left) means the peer is gone.
+            dead || (event.hangup && !event.readable)
+        };
+        if dead {
+            self.close_conn(token);
+            return;
+        }
+        self.pump_conn(token);
+    }
+
+    /// Extracts complete lines as pipeline capacity allows, dispatches
+    /// them to the worker pool, and refreshes poller interest. Also the
+    /// point where a flushed-out, EOF'd connection is finally closed.
+    fn pump_conn(&mut self, token: u64) {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let max_pipeline = self.shared.max_pipeline;
+        let mut jobs = Vec::new();
+        let closed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while !draining && conn.inflight < max_pipeline {
+                let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line_bytes: Vec<u8> = conn.read_buf.drain(..=newline).collect();
+                let line = String::from_utf8_lossy(&line_bytes).trim().to_owned();
+                if line.is_empty() {
+                    continue;
+                }
+                conn.inflight += 1;
+                jobs.push(Job {
+                    loop_id: self.id,
+                    conn_token: token,
+                    line,
+                });
+            }
+            conn.closing && conn.is_quiescent()
+        };
+        if closed {
+            self.close_conn(token);
+            return;
+        }
+        if !jobs.is_empty() {
+            self.gauges()
+                .inflight
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            let mut queue = self.shared.jobs.lock().expect("jobs poisoned");
+            queue.extend(jobs);
+            let depth = queue.len() as u64;
+            drop(queue);
+            self.shared
+                .state
+                .telemetry
+                .queue_depth
+                .store(depth, Ordering::Relaxed);
+            self.shared.jobs_available.notify_all();
+        }
+        self.refresh_interest(token);
+    }
+
+    fn refresh_interest(&mut self, token: u64) {
+        let max_pipeline = self.shared.max_pipeline;
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let wanted = Interest {
+            read: !conn.closing && !draining && conn.inflight < max_pipeline,
+            write: conn.has_pending_write(),
+        };
+        if wanted != conn.interest {
+            conn.interest = wanted;
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, wanted).is_err() {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Applies finished responses: append to the write buffer, flush
+    /// opportunistically, update interest, honour shutdown.
+    fn apply_completions(&mut self) {
+        let completions: Vec<Completion> = {
+            let mut pending = self.shared.loops[self.id]
+                .completions
+                .lock()
+                .expect("completions poisoned");
+            pending.drain(..).collect()
+        };
+        for completion in completions {
+            self.gauges().inflight.fetch_sub(1, Ordering::Relaxed);
+            self.finish_completion(&completion);
+            if completion.begin_drain {
+                // The shutdown response is buffered (drain flushes it);
+                // now stop the world.
+                self.shared.begin_drain();
+            }
+        }
+    }
+
+    fn finish_completion(&mut self, completion: &Completion) {
+        let token = completion.conn_token;
+        let flush_failed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The connection died while the request was in flight.
+                return;
+            };
+            conn.inflight = conn.inflight.saturating_sub(1);
+            conn.write_buf
+                .extend_from_slice(completion.response.as_bytes());
+            conn.write_buf.push(b'\n');
+            conn.flush_writes().is_err()
+        };
+        if flush_failed {
+            self.close_conn(token);
+            return;
+        }
+        // A freed pipeline slot may unblock buffered lines; EOF'd
+        // connections close here once quiescent.
+        self.pump_conn(token);
+    }
+
+    /// Closes connections idle past the read timeout (with nothing in
+    /// flight), at most once per tick.
+    fn scan_idle(&mut self) {
+        if self.last_idle_scan.elapsed() < TICK {
+            return;
+        }
+        self.last_idle_scan = Instant::now();
+        let timeout = self.shared.read_timeout;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.inflight == 0 && conn.last_activity.elapsed() >= timeout)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    /// One drain step. Returns `true` when this loop may exit: every
+    /// connection quiescent and flushed, or the deadline passed.
+    fn drain(&mut self) -> bool {
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(listener.as_raw_fd());
+        }
+        let started = *self.drain_started.get_or_insert_with(Instant::now);
+        // Stop reading everywhere; keep write interest for flushes.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.refresh_interest(token);
+        }
+        let expired = started.elapsed() >= self.shared.drain_deadline;
+        if expired || self.conns.values().all(Conn::is_quiescent) {
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.close_conn(token);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// A worker: pops lines, executes them against the shared state, and
+/// pushes completions back to the owning loop.
+fn worker_loop(shared: &Arc<EventShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.jobs.lock().expect("jobs poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared
+                        .state
+                        .telemetry
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
+                    break Some(job);
+                }
+                // The loops are the producers: exit only when none
+                // remain (drain finished) and the queue is empty.
+                if shared.loops_alive.load(Ordering::SeqCst) == 0 {
+                    break None;
+                }
+                queue = shared.jobs_available.wait(queue).expect("jobs poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        let (response, begin_drain) = execute_line(&shared.state, &job.line);
+        shared.loops[job.loop_id]
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion {
+                conn_token: job.conn_token,
+                response,
+                begin_drain,
+            });
+        shared.loops[job.loop_id].wake();
+    }
+}
+
+/// Parses and executes one request line; the bool asks the server to
+/// drain (the line was a `shutdown` request).
+fn execute_line(state: &ServerState, line: &str) -> (String, bool) {
+    match parse_envelope(line) {
+        Ok(envelope) => {
+            let response = handler::handle_envelope(state, &envelope);
+            let drain = envelope.request == Request::Shutdown;
+            (response.to_string(), drain)
+        }
+        Err(err) => {
+            // Count the attempt too: `requests` tracks lines seen.
+            state.counters.requests.fetch_add(1, Ordering::Relaxed);
+            (handler::error_response(state, &err).to_string(), false)
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //! fresh enumeration. Witness/refutation requests run fresh — their
 //! artifacts are path-dependent and are not cached.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use samm_analyze::robust::StaticVerdict;
@@ -23,8 +25,9 @@ use samm_litmus::expect::{
     run_entry_cached, run_entry_cached_parallel, run_entry_cached_pruned, EntryReport,
 };
 
+use crate::cluster::Cluster;
 use crate::json::Json;
-use crate::protocol::{EngineSel, ErrorKind, Request, ServiceError};
+use crate::protocol::{EngineSel, Envelope, ErrorKind, Request, ServiceError};
 use crate::telemetry::{kind_index, ReqOutcome, Telemetry, KIND_NAMES};
 
 /// Monotonic counters the `metrics` request reports.
@@ -60,6 +63,53 @@ pub struct ServerState {
     /// ([`EnumConfig::observe`]), feeding the aggregated closure-rule
     /// counters. One server-wide setting so cache keys stay uniform.
     pub observe: bool,
+    /// Cluster membership and peer pools when serving in cluster mode.
+    pub cluster: Option<Arc<Cluster>>,
+    /// Single-flight table: fingerprints with an enumeration currently
+    /// running, so identical concurrent queries wait for the leader's
+    /// cache insert instead of duplicating the work.
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+    /// Pre-rendered `outcomes`/`stats` response fragments keyed by
+    /// fingerprint: the expensive parts of a warm enumerate response
+    /// are identical on every hit, so they are rendered once and
+    /// spliced as [`Json::Raw`] afterwards.
+    rendered: Mutex<HashMap<u128, RenderedResult>>,
+}
+
+/// The fingerprint-invariant parts of an enumerate response, rendered.
+#[derive(Debug, Clone)]
+struct RenderedResult {
+    outcomes: String,
+    stats: String,
+    outcome_count: usize,
+    executions: usize,
+}
+
+/// Bound on [`ServerState::rendered`]: above this the memo is cleared
+/// wholesale (entries re-render on their next hit). The enumerate
+/// cache evicts on its own schedule, so precise mirroring is not worth
+/// the bookkeeping — the memo just has to stay bounded.
+const RENDERED_CAP: usize = 8192;
+
+/// One in-flight enumeration other requests can wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+impl Flight {
+    fn finish(&self) {
+        *self.done.lock().expect("flight poisoned") = true;
+        self.finished.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight poisoned");
+        while !*done {
+            done = self.finished.wait(done).expect("flight poisoned");
+        }
+    }
 }
 
 impl ServerState {
@@ -83,13 +133,22 @@ impl ServerState {
             counters: Counters::default(),
             telemetry,
             observe,
+            cluster: None,
+            flights: Mutex::new(HashMap::new()),
+            rendered: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches cluster membership; enumerate-backed requests are then
+    /// routed through the consistent-hash ring.
+    pub fn set_cluster(&mut self, cluster: Arc<Cluster>) {
+        self.cluster = Some(cluster);
     }
 
     /// The enumeration configuration for one request: server defaults,
     /// request budget override, executions never kept (only outcome
     /// sets travel over the wire).
-    fn config(&self, budget: Option<u64>) -> EnumConfig {
+    pub(crate) fn config(&self, budget: Option<u64>) -> EnumConfig {
         EnumConfig::builder()
             .keep_executions(false)
             .observe(self.observe)
@@ -99,9 +158,12 @@ impl ServerState {
 
     /// Renders the Prometheus exposition for the current state.
     pub fn render_prom(&self) -> String {
+        let snapshot = self.cluster.as_ref().map(|c| c.snapshot());
         self.telemetry.render_prom(
             self.counters.overloaded.load(Ordering::Relaxed),
             &self.cache.stats(),
+            &self.cache.shard_stats(),
+            snapshot.as_ref(),
         )
     }
 }
@@ -119,14 +181,51 @@ pub fn handle(state: &ServerState, request: &Request) -> Json {
 /// by hit/miss/overbudget, the request-rate window, and the slow-query
 /// log.
 pub fn handle_traced(state: &ServerState, request: &Request, id: Option<&str>) -> Json {
+    handle_inner(state, request, id, false, true)
+}
+
+/// Executes a parsed envelope: as [`handle_traced`], honouring the
+/// envelope's `fwd` marker (a forwarded request is answered locally,
+/// never re-forwarded). The entry point cluster-aware servers use.
+pub fn handle_envelope(state: &ServerState, envelope: &Envelope) -> Json {
+    handle_inner(
+        state,
+        &envelope.request,
+        envelope.id.as_deref(),
+        envelope.fwd,
+        true,
+    )
+}
+
+/// Executes one sub-request of a batch: per-kind latency telemetry and
+/// the slow-query log still apply, but the top-level `requests` counter
+/// does not — the batch line was already counted once.
+pub(crate) fn handle_sub(state: &ServerState, envelope: &Envelope, fwd: bool) -> Json {
+    handle_inner(state, &envelope.request, envelope.id.as_deref(), fwd, false)
+}
+
+fn handle_inner(
+    state: &ServerState,
+    request: &Request,
+    id: Option<&str>,
+    fwd: bool,
+    top_level: bool,
+) -> Json {
     let id = id.map_or_else(|| state.telemetry.ids.next_id(), str::to_owned);
     let kind = kind_index(request);
     match (kind, request) {
-        (Some(_), _) => state.counters.requests.fetch_add(1, Ordering::Relaxed),
-        (None, Request::Shutdown) => state.counters.requests.fetch_add(1, Ordering::Relaxed),
+        (Some(_), _) | (None, Request::Shutdown) => {
+            // Batch sub-requests are not re-counted: the batch line
+            // itself was counted once at the top level.
+            if top_level {
+                state.counters.requests.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         (None, _) => {
+            // Monitoring traffic is tallied even inside batches — the
+            // split exists so self-observation never skews `requests`.
             state.counters.monitoring.fetch_add(1, Ordering::Relaxed);
-            state.telemetry.monitoring.fetch_add(1, Ordering::Relaxed)
+            state.telemetry.monitoring.fetch_add(1, Ordering::Relaxed);
         }
     };
     let started = Instant::now();
@@ -136,7 +235,8 @@ pub fn handle_traced(state: &ServerState, request: &Request, id: Option<&str>) -
             model,
             budget,
             engine,
-        } => enumerate_response(state, test, model, *budget, *engine),
+        } => enumerate_response(state, test, model, *budget, *engine, fwd),
+        Request::Batch(subs) => Ok(crate::batch::execute(state, subs, fwd)),
         Request::Verdict {
             test,
             budget,
@@ -194,9 +294,17 @@ pub fn error_response(state: &ServerState, err: &ServiceError) -> Json {
     err.to_response()
 }
 
-fn find_entry(name: &str) -> Result<CatalogEntry, ServiceError> {
-    catalog::all()
-        .into_iter()
+/// The catalog is immutable for the life of the process; building it
+/// runs every litmus builder (~100µs), so memoize it once instead of
+/// reconstructing it on every request.
+fn cached_catalog() -> &'static [CatalogEntry] {
+    static CATALOG: OnceLock<Vec<CatalogEntry>> = OnceLock::new();
+    CATALOG.get_or_init(catalog::all)
+}
+
+pub(crate) fn find_entry(name: &str) -> Result<&'static CatalogEntry, ServiceError> {
+    cached_catalog()
+        .iter()
         .find(|e| e.test.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| {
             ServiceError::new(
@@ -206,7 +314,7 @@ fn find_entry(name: &str) -> Result<CatalogEntry, ServiceError> {
         })
 }
 
-fn find_model(name: &str) -> Result<ModelSel, ServiceError> {
+pub(crate) fn find_model(name: &str) -> Result<ModelSel, ServiceError> {
     ModelSel::ALL
         .into_iter()
         .find(|m| m.name().eq_ignore_ascii_case(name))
@@ -267,50 +375,150 @@ fn enumerate_response(
     model: &str,
     budget: Option<u64>,
     engine: EngineSel,
+    fwd: bool,
 ) -> Result<Json, ServiceError> {
     let entry = find_entry(test)?;
     let sel = find_model(model)?;
     let policy = sel.policy();
     let config = state.config(budget);
-    let (value, hit) = match engine {
-        EngineSel::Serial => cached_enumerate(
-            &state.cache,
-            &entry.test.program,
-            &policy,
-            &config,
-            enumerate,
-        ),
-        EngineSel::Parallel => cached_enumerate(
-            &state.cache,
-            &entry.test.program,
-            &policy,
-            &config,
-            enumerate_parallel,
-        ),
-        EngineSel::Pruned => cached_enumerate(
-            &state.cache,
-            &entry.test.program,
-            &policy,
-            &config,
-            enumerate_pruned,
-        ),
+    let fp = samm_core::fingerprint::query_fingerprint(&entry.test.program, &policy, &config);
+
+    // Cluster routing: keys owned elsewhere are forwarded — unless this
+    // request was itself forwarded here (`fwd`), the key is already in
+    // the local cache, or the owner is unreachable (fallback below).
+    if let Some(cluster) = state.cluster.as_ref().filter(|_| !fwd) {
+        let owner = cluster.owner_of(fp);
+        if cluster.node_id(owner) != cluster.self_id() && !state.cache.contains(fp) {
+            let env = Envelope {
+                id: None,
+                request: Request::Enumerate {
+                    test: test.to_owned(),
+                    model: model.to_owned(),
+                    budget,
+                    engine,
+                },
+                fwd: true,
+            };
+            match cluster.forward(owner, &env) {
+                Some(mut response) => {
+                    state.telemetry.note_forward(cluster.node_id(owner));
+                    state.telemetry.forward_hops.record(1);
+                    if let Json::Obj(map) = &mut response {
+                        map.insert("forwarded".to_owned(), Json::Bool(true));
+                    }
+                    return Ok(response);
+                }
+                None => {
+                    state
+                        .telemetry
+                        .forward_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
-    .map_err(enum_error)?;
+    if state.cluster.is_some() && !fwd {
+        state.telemetry.forward_hops.record(0);
+    }
+
+    // Single-flight: one leader per fingerprint enumerates; identical
+    // concurrent queries wait for its cache insert and then hit.
+    let (value, hit) = loop {
+        let flight = {
+            let mut flights = state.flights.lock().expect("flights poisoned");
+            match flights.get(&fp.raw()) {
+                Some(flight) => Some(Arc::clone(flight)),
+                None => {
+                    flights.insert(fp.raw(), Arc::new(Flight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(flight) = flight {
+            state
+                .telemetry
+                .singleflight_waits
+                .fetch_add(1, Ordering::Relaxed);
+            flight.wait();
+            // Leader finished: retry. A successful leader filled the
+            // cache (hit); a failed one left it empty and this waiter
+            // becomes the next leader.
+            continue;
+        }
+        let outcome = match engine {
+            EngineSel::Serial => cached_enumerate(
+                &state.cache,
+                &entry.test.program,
+                &policy,
+                &config,
+                enumerate,
+            ),
+            EngineSel::Parallel => cached_enumerate(
+                &state.cache,
+                &entry.test.program,
+                &policy,
+                &config,
+                enumerate_parallel,
+            ),
+            EngineSel::Pruned => cached_enumerate(
+                &state.cache,
+                &entry.test.program,
+                &policy,
+                &config,
+                enumerate_pruned,
+            ),
+        };
+        let flight = state
+            .flights
+            .lock()
+            .expect("flights poisoned")
+            .remove(&fp.raw());
+        if let Some(flight) = flight {
+            flight.finish();
+        }
+        break outcome.map_err(enum_error)?;
+    };
     if !hit {
         state.telemetry.fold_stats(&value.stats);
     }
-    Ok(Json::obj([
+    // The outcomes/stats fragments are fingerprint-invariant and
+    // dominate the response; render them once per key and splice the
+    // memoized strings on subsequent hits.
+    let fragments = {
+        let mut rendered = state.rendered.lock().expect("rendered poisoned");
+        match rendered.get(&fp.raw()) {
+            Some(found) => found.clone(),
+            None => {
+                if rendered.len() >= RENDERED_CAP {
+                    rendered.clear();
+                }
+                let fresh = RenderedResult {
+                    outcomes: outcomes_json(&value.outcomes).to_string(),
+                    stats: value.stats.to_json(),
+                    outcome_count: value.outcomes.len(),
+                    executions: value.distinct_executions(),
+                };
+                rendered.insert(fp.raw(), fresh.clone());
+                fresh
+            }
+        }
+    };
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("kind", Json::str("enumerate")),
         ("test", Json::str(entry.test.name.clone())),
         ("model", Json::str(sel.name())),
         ("engine", Json::str(engine.name())),
         ("cache_hit", Json::Bool(hit)),
-        ("outcome_count", Json::num(value.outcomes.len() as f64)),
-        ("executions", Json::num(value.distinct_executions() as f64)),
-        ("outcomes", outcomes_json(&value.outcomes)),
-        ("stats", Json::Raw(value.stats.to_json())),
-    ]))
+        ("outcome_count", Json::num(fragments.outcome_count as f64)),
+        ("executions", Json::num(fragments.executions as f64)),
+        ("outcomes", Json::Raw(fragments.outcomes)),
+        ("stats", Json::Raw(fragments.stats)),
+    ];
+    if let Some(cluster) = &state.cluster {
+        fields.push(("node", Json::str(cluster.self_id())));
+    }
+    Ok(Json::obj(fields))
 }
 
 fn report_json(report: &EntryReport) -> Json {
@@ -347,9 +555,9 @@ fn verdict_response(
     let entry = find_entry(test)?;
     let config = state.config(budget);
     let report = match engine {
-        EngineSel::Serial => run_entry_cached(&entry, &config, &state.cache),
-        EngineSel::Parallel => run_entry_cached_parallel(&entry, &config, &state.cache),
-        EngineSel::Pruned => run_entry_cached_pruned(&entry, &config, &state.cache),
+        EngineSel::Serial => run_entry_cached(entry, &config, &state.cache),
+        EngineSel::Parallel => run_entry_cached_parallel(entry, &config, &state.cache),
+        EngineSel::Pruned => run_entry_cached_pruned(entry, &config, &state.cache),
     }
     .map_err(enum_error)?;
     for row in report.rows.iter().filter(|row| !row.cache_hit) {
@@ -371,7 +579,7 @@ fn witness_response(
 ) -> Result<Json, ServiceError> {
     let entry = find_entry(test)?;
     let policy = find_model(model)?.policy();
-    let (goal, text) = condition_goal(&entry, condition)?;
+    let (goal, text) = condition_goal(entry, condition)?;
     let config = state.config(budget);
     let witness = find_witness(&entry.test.program, &policy, &config, &goal).map_err(enum_error)?;
     Ok(Json::obj([
@@ -395,7 +603,7 @@ fn refutation_response(
 ) -> Result<Json, ServiceError> {
     let entry = find_entry(test)?;
     let policy = find_model(model)?.policy();
-    let (goal, text) = condition_goal(&entry, condition)?;
+    let (goal, text) = condition_goal(entry, condition)?;
     let config = state.config(budget);
     let outcome = refute(&entry.test.program, &policy, &config, &goal).map_err(enum_error)?;
     let (refuted, proof, witness) = match outcome {
@@ -473,7 +681,7 @@ fn certify_response(
 
 fn metrics_response(state: &ServerState) -> Json {
     let counters = &state.counters;
-    Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("kind", Json::str("metrics")),
         (
@@ -494,7 +702,37 @@ fn metrics_response(state: &ServerState) -> Json {
         ),
         ("cache", Json::Raw(state.cache.stats().to_json())),
         ("telemetry", state.telemetry.to_json()),
-    ])
+    ];
+    if let Some(cluster) = &state.cluster {
+        let snapshot = cluster.snapshot();
+        let nodes = snapshot
+            .nodes
+            .iter()
+            .map(|(id, alive)| {
+                Json::obj([("id", Json::str(id.clone())), ("alive", Json::Bool(*alive))])
+            })
+            .collect();
+        fields.push((
+            "cluster",
+            Json::obj([
+                ("self", Json::str(snapshot.self_id)),
+                ("nodes", Json::Arr(nodes)),
+                (
+                    "forwards",
+                    Json::num(state.telemetry.forwards_ok.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "fallbacks",
+                    Json::num(state.telemetry.forward_fallbacks.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "singleflight_waits",
+                    Json::num(state.telemetry.singleflight_waits.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]

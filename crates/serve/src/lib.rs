@@ -1,7 +1,7 @@
 //! # samm-serve — concurrent litmus-query service
 //!
-//! A multithreaded TCP service over the enumeration framework: clients
-//! send newline-delimited JSON requests (`enumerate`, `verdict`,
+//! A TCP service over the enumeration framework: clients send
+//! newline-delimited JSON requests (`enumerate`, `batch`, `verdict`,
 //! `witness`, `refutation`, `certify`, `metrics`, `shutdown`) and every
 //! enumeration-backed answer flows through the content-addressed
 //! [`samm_core::cache::EnumCache`], so a query repeated by any client —
@@ -9,11 +9,20 @@
 //!
 //! The implementation is std-only (no async runtime, no serde): a
 //! hand-rolled JSON codec ([`json`]), a typed wire protocol
-//! ([`protocol`]), a request executor ([`handler`]), a bounded-queue
-//! threaded server with graceful drain ([`server`]), and a blocking
-//! [`client`]. `docs/SERVICE.md` documents the wire format; the
-//! `samm-serve` binary hosts the server and `samm-load` (in
-//! `samm-bench`) replays the catalog against it.
+//! ([`protocol`]), a request executor ([`handler`]), and a blocking
+//! [`client`]. Two I/O cores host the executor: the readiness-driven
+//! [`event_loop`] (epoll on Linux, portable `poll` fallback — see
+//! [`sys`]) with request pipelining and the syscall-amortizing
+//! [`batch`] envelope, and the legacy bounded-queue thread-per-
+//! connection [`server`]. Both drain gracefully. [`ring`] and
+//! [`cluster`] scale the event core out: consistent-hash routing of
+//! [`samm_core::fingerprint`] keys across a static member list, peer
+//! forwarding on miss with single-flight de-duplication, and live
+//! dead-peer failover, turning the node-local caches into one
+//! distributed cache. `docs/SERVICE.md` documents the wire format and
+//! `docs/CLUSTER.md` the operator runbook; the `samm-serve` binary
+//! hosts the server and `samm-load` (in `samm-bench`) replays the
+//! catalog against one or many nodes.
 //!
 //! ## Example: in-process round trip
 //!
@@ -34,20 +43,35 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Denied rather than forbidden: the readiness poller ([`sys`]) opts in
+// for its two syscall surfaces (epoll/poll); everything else stays safe.
+#![deny(unsafe_code)]
 
+pub mod batch;
 pub mod client;
+pub mod cluster;
+#[cfg(unix)]
+pub mod event_loop;
 pub mod handler;
 pub mod json;
 pub mod protocol;
+pub mod ring;
 pub mod server;
+#[cfg(unix)]
+#[allow(unsafe_code)]
+pub mod sys;
 pub mod telemetry;
 
 pub use client::{Client, ClientError};
+pub use cluster::{Cluster, ClusterConfig};
+#[cfg(unix)]
+pub use event_loop::{EventConfig, EventHandle};
 pub use handler::ServerState;
 pub use json::Json;
 pub use protocol::{
-    parse_envelope, parse_request, EngineSel, Envelope, ErrorKind, Request, ServiceError,
+    parse_envelope, parse_request, render_envelope, render_request, EngineSel, Envelope, ErrorKind,
+    Request, ServiceError, MAX_BATCH,
 };
+pub use ring::HashRing;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::{ReqOutcome, Telemetry};

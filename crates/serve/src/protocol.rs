@@ -91,6 +91,12 @@ pub enum Request {
         /// verdict (`robust`/`cycle`/`unknown`) in the response.
         robust: bool,
     },
+    /// Execute up to [`MAX_BATCH`] sub-requests in one round trip,
+    /// answering with a `responses` array in sub-request order. Each
+    /// slot is parsed independently: a malformed sub-request becomes a
+    /// structured error *in its slot* without failing its neighbours.
+    /// Nested `batch` and `shutdown` sub-requests are rejected per-slot.
+    Batch(Vec<Result<Envelope, ServiceError>>),
     /// Report server counters and cache statistics.
     Metrics,
     /// Report the Prometheus text-format exposition (as the `text`
@@ -112,7 +118,15 @@ pub struct Envelope {
     pub id: Option<String>,
     /// The request itself.
     pub request: Request,
+    /// Set on requests a cluster peer forwarded here: the receiving
+    /// node answers locally and never forwards again, so routing
+    /// disagreements (e.g. mid-drain ring views) cannot loop.
+    pub fwd: bool,
 }
+
+/// Ceiling on sub-requests per `batch` envelope; larger batches are
+/// rejected whole with a `malformed` error naming the limit.
+pub const MAX_BATCH: usize = 256;
 
 /// Machine-readable failure classes; the wire `error.kind` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,13 +292,71 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, ServiceError> {
             ServiceError::new(ErrorKind::Malformed, "field 'id' must be a string")
         })?),
     };
+    let fwd = optional_bool(&value, "fwd")?;
     let request = parse_request_obj(&value)?;
-    Ok(Envelope { id, request })
+    Ok(Envelope { id, request, fwd })
+}
+
+fn parse_sub_envelope(value: &Json) -> Result<Envelope, ServiceError> {
+    if !matches!(value, Json::Obj(_)) {
+        return Err(ServiceError::new(
+            ErrorKind::Malformed,
+            "batch sub-request must be a JSON object",
+        ));
+    }
+    let id = match value.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_str().map(str::to_owned).ok_or_else(|| {
+            ServiceError::new(ErrorKind::Malformed, "field 'id' must be a string")
+        })?),
+    };
+    let request = parse_request_obj(value)?;
+    match request {
+        Request::Batch(_) => Err(ServiceError::new(
+            ErrorKind::Malformed,
+            "batches do not nest",
+        )),
+        Request::Shutdown => Err(ServiceError::new(
+            ErrorKind::Malformed,
+            "'shutdown' is not allowed inside a batch",
+        )),
+        request => Ok(Envelope {
+            id,
+            request,
+            fwd: false,
+        }),
+    }
 }
 
 fn parse_request_obj(value: &Json) -> Result<Request, ServiceError> {
     let kind = required_str(value, "kind")?;
     match kind.as_str() {
+        "batch" => {
+            let subs = value
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    ServiceError::new(ErrorKind::Malformed, "batch requires a 'requests' array")
+                })?;
+            if subs.is_empty() {
+                return Err(ServiceError::new(
+                    ErrorKind::Malformed,
+                    "batch 'requests' must not be empty",
+                ));
+            }
+            if subs.len() > MAX_BATCH {
+                return Err(ServiceError::new(
+                    ErrorKind::Malformed,
+                    format!(
+                        "batch carries {} sub-requests; the limit is {MAX_BATCH}",
+                        subs.len()
+                    ),
+                ));
+            }
+            Ok(Request::Batch(
+                subs.iter().map(parse_sub_envelope).collect(),
+            ))
+        }
         "enumerate" => Ok(Request::Enumerate {
             test: required_str(value, "test")?,
             model: required_str(value, "model")?,
@@ -330,6 +402,110 @@ fn parse_request_obj(value: &Json) -> Result<Request, ServiceError> {
             format!("unknown request kind '{other}'"),
         )),
     }
+}
+
+/// Renders a request back to its wire object — the inverse of the
+/// parser, used by the cluster layer to forward envelopes to the
+/// owning peer. Malformed batch slots (which are never forwarded)
+/// render as an object the receiving parser rejects per-slot, keeping
+/// slot counts aligned.
+pub fn render_request(request: &Request) -> Json {
+    let mut fields: Vec<(&'static str, Json)> = Vec::new();
+    match request {
+        Request::Enumerate {
+            test,
+            model,
+            budget,
+            engine,
+        } => {
+            fields.push(("kind", Json::str("enumerate")));
+            fields.push(("test", Json::str(test.clone())));
+            fields.push(("model", Json::str(model.clone())));
+            if let Some(b) = budget {
+                fields.push(("budget", Json::num(*b as f64)));
+            }
+            fields.push(("engine", Json::str(engine.name())));
+        }
+        Request::Verdict {
+            test,
+            budget,
+            engine,
+        } => {
+            fields.push(("kind", Json::str("verdict")));
+            fields.push(("test", Json::str(test.clone())));
+            if let Some(b) = budget {
+                fields.push(("budget", Json::num(*b as f64)));
+            }
+            fields.push(("engine", Json::str(engine.name())));
+        }
+        Request::Witness {
+            test,
+            model,
+            condition,
+            budget,
+        }
+        | Request::Refutation {
+            test,
+            model,
+            condition,
+            budget,
+        } => {
+            let kind = if matches!(request, Request::Witness { .. }) {
+                "witness"
+            } else {
+                "refutation"
+            };
+            fields.push(("kind", Json::str(kind)));
+            fields.push(("test", Json::str(test.clone())));
+            fields.push(("model", Json::str(model.clone())));
+            fields.push(("condition", Json::num(*condition as f64)));
+            if let Some(b) = budget {
+                fields.push(("budget", Json::num(*b as f64)));
+            }
+        }
+        Request::Certify {
+            test,
+            model,
+            robust,
+        } => {
+            fields.push(("kind", Json::str("certify")));
+            fields.push(("test", Json::str(test.clone())));
+            fields.push(("model", Json::str(model.clone())));
+            if *robust {
+                fields.push(("robust", Json::Bool(true)));
+            }
+        }
+        Request::Batch(subs) => {
+            fields.push(("kind", Json::str("batch")));
+            let rendered = subs
+                .iter()
+                .map(|slot| match slot {
+                    Ok(env) => render_envelope(env),
+                    Err(_) => Json::obj([("kind", Json::str("_invalid"))]),
+                })
+                .collect();
+            fields.push(("requests", Json::Arr(rendered)));
+        }
+        Request::Metrics => fields.push(("kind", Json::str("metrics"))),
+        Request::MetricsProm => fields.push(("kind", Json::str("metrics_prom"))),
+        Request::Shutdown => fields.push(("kind", Json::str("shutdown"))),
+    }
+    Json::obj(fields)
+}
+
+/// Renders a full envelope (request plus `id` and `fwd` marker) as one
+/// wire object.
+pub fn render_envelope(env: &Envelope) -> Json {
+    let mut rendered = render_request(&env.request);
+    if let Json::Obj(map) = &mut rendered {
+        if let Some(id) = &env.id {
+            map.insert("id".to_owned(), Json::str(id.clone()));
+        }
+        if env.fwd {
+            map.insert("fwd".to_owned(), Json::Bool(true));
+        }
+    }
+    rendered
 }
 
 #[cfg(test)]
@@ -439,6 +615,81 @@ mod tests {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.kind, kind, "{line}");
         }
+    }
+
+    #[test]
+    fn batch_parses_with_per_slot_isolation() {
+        let line = r#"{"kind":"batch","requests":[
+            {"kind":"enumerate","test":"SB","model":"TSO","id":"a"},
+            {"kind":"enumerate"},
+            {"kind":"shutdown"},
+            {"kind":"batch","requests":[{"kind":"metrics"}]},
+            {"kind":"metrics"}]}"#
+            .replace('\n', "");
+        let Request::Batch(subs) = parse_request(&line).unwrap() else {
+            panic!("expected a batch");
+        };
+        assert_eq!(subs.len(), 5);
+        assert_eq!(subs[0].as_ref().unwrap().id.as_deref(), Some("a"));
+        assert!(matches!(
+            subs[0].as_ref().unwrap().request,
+            Request::Enumerate { .. }
+        ));
+        assert_eq!(subs[1].as_ref().unwrap_err().kind, ErrorKind::Malformed);
+        assert_eq!(subs[2].as_ref().unwrap_err().kind, ErrorKind::Malformed);
+        assert_eq!(subs[3].as_ref().unwrap_err().kind, ErrorKind::Malformed);
+        assert_eq!(subs[4].as_ref().unwrap().request, Request::Metrics);
+    }
+
+    #[test]
+    fn batch_envelope_level_failures() {
+        for line in [
+            r#"{"kind":"batch"}"#,
+            r#"{"kind":"batch","requests":[]}"#,
+            r#"{"kind":"batch","requests":7}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().kind,
+                ErrorKind::Malformed,
+                "{line}"
+            );
+        }
+        let too_many: Vec<String> = (0..=MAX_BATCH)
+            .map(|_| r#"{"kind":"metrics"}"#.to_owned())
+            .collect();
+        let line = format!(r#"{{"kind":"batch","requests":[{}]}}"#, too_many.join(","));
+        assert_eq!(parse_request(&line).unwrap_err().kind, ErrorKind::Malformed);
+    }
+
+    #[test]
+    fn rendered_requests_reparse_identically() {
+        for line in [
+            r#"{"kind":"enumerate","test":"SB","model":"TSO"}"#,
+            r#"{"kind":"enumerate","test":"SB","model":"TSO","budget":100,"engine":"pruned"}"#,
+            r#"{"kind":"verdict","test":"IRIW","engine":"parallel"}"#,
+            r#"{"kind":"witness","test":"SB","model":"TSO","condition":1}"#,
+            r#"{"kind":"refutation","test":"SB","model":"SC","budget":9}"#,
+            r#"{"kind":"certify","test":"SB","model":"TSO","robust":true}"#,
+            r#"{"kind":"metrics"}"#,
+            r#"{"kind":"batch","requests":[{"kind":"metrics","id":"x"}]}"#,
+        ] {
+            let env = parse_envelope(line).unwrap();
+            let rendered = render_envelope(&env).to_string();
+            assert_eq!(parse_envelope(&rendered).unwrap(), env, "{line}");
+        }
+    }
+
+    #[test]
+    fn forwarded_envelopes_round_trip_the_fwd_marker() {
+        let env = parse_envelope(r#"{"kind":"metrics","fwd":true,"id":"f1"}"#).unwrap();
+        assert!(env.fwd);
+        let rendered = render_envelope(&env).to_string();
+        assert!(rendered.contains("\"fwd\":true"));
+        assert_eq!(parse_envelope(&rendered).unwrap(), env);
+        // Absent or false markers stay off the wire.
+        let plain = parse_envelope(r#"{"kind":"metrics"}"#).unwrap();
+        assert!(!plain.fwd);
+        assert!(!render_envelope(&plain).to_string().contains("fwd"));
     }
 
     #[test]

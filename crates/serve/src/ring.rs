@@ -1,0 +1,128 @@
+//! Consistent-hash ring over [`samm_core::fingerprint`] keys.
+//!
+//! Each node contributes [`VNODES`] virtual points hashed from its node
+//! id with the same FNV-1a/128 hasher that fingerprints queries, so key
+//! placement is deterministic across every node that shares the
+//! topology file. A key routes to the first ring point at or after its
+//! fingerprint (wrapping); removing a node (drain, crash) reassigns
+//! only that node's arcs to their successors, which is what keeps a
+//! drain from reshuffling the whole cluster's cache.
+
+use samm_core::fingerprint::FingerprintHasher;
+
+/// Virtual points per node. 64 keeps the expected per-node share within
+/// a few percent of uniform for small clusters while the ring stays
+/// tiny (N×64 points, binary-searched).
+pub const VNODES: usize = 64;
+
+/// The ring: sorted virtual points, each owned by a node index.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u128, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring for `node_ids`, [`VNODES`] points per node.
+    /// Identical id lists produce identical rings on every node.
+    pub fn build(node_ids: &[String]) -> HashRing {
+        let mut points = Vec::with_capacity(node_ids.len() * VNODES);
+        for (index, id) in node_ids.iter().enumerate() {
+            for vnode in 0..VNODES {
+                let mut h = FingerprintHasher::new();
+                h.write_bytes(id.as_bytes());
+                h.write_u64(vnode as u64);
+                points.push((h.finish().raw(), index));
+            }
+        }
+        // Ties (hash collisions across nodes) resolve by node index so
+        // every replica sorts identically.
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The node owning `key`: the first point at or after it, wrapping.
+    pub fn route(&self, key: u128) -> usize {
+        let at = self.points.partition_point(|(hash, _)| *hash < key);
+        let (_, node) = self.points[at % self.points.len()];
+        node
+    }
+
+    /// As [`HashRing::route`], but skips points whose node fails the
+    /// `alive` predicate — the drain/failure rebalance: a dead node's
+    /// arcs fall to their ring successors. Returns `None` when no node
+    /// is alive.
+    pub fn route_filtered(&self, key: u128, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        let start = self.points.partition_point(|(hash, _)| *hash < key);
+        (0..self.points.len())
+            .map(|offset| self.points[(start + offset) % self.points.len()].1)
+            .find(|node| alive(*node))
+    }
+
+    /// Total virtual points (nodes × [`VNODES`]).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node-{i}")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::build(&ids(3));
+        let again = HashRing::build(&ids(3));
+        assert_eq!(ring.len(), 3 * VNODES);
+        for key in (0..10_000u128).map(|k| k.wrapping_mul(0x9E3779B97F4A7C15)) {
+            let node = ring.route(key);
+            assert!(node < 3);
+            assert_eq!(node, again.route(key), "replicas must agree");
+        }
+    }
+
+    #[test]
+    fn shares_are_roughly_uniform() {
+        let ring = HashRing::build(&ids(3));
+        let mut counts = [0usize; 3];
+        for key in 0..30_000u128 {
+            // Spread test keys over the whole ring, not the low end.
+            let mut h = FingerprintHasher::new();
+            h.write_bytes(&key.to_le_bytes());
+            counts[ring.route(h.finish().raw())] += 1;
+        }
+        for count in counts {
+            // Expect ~10k per node; 64 vnodes keeps skew well within 2×.
+            assert!(
+                (5_000..=15_000).contains(&count),
+                "share badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_nodes_shed_only_their_own_arcs() {
+        let ring = HashRing::build(&ids(3));
+        for key in 0..5_000u128 {
+            let mut h = FingerprintHasher::new();
+            h.write_bytes(&key.to_le_bytes());
+            let key = h.finish().raw();
+            let primary = ring.route(key);
+            let rerouted = ring.route_filtered(key, |node| node != 1).unwrap();
+            assert_ne!(rerouted, 1);
+            if primary != 1 {
+                // Keys owned by live nodes must not move on a drain.
+                assert_eq!(rerouted, primary);
+            }
+        }
+        assert_eq!(ring.route_filtered(42, |_| false), None);
+    }
+}

@@ -205,7 +205,7 @@ impl ServerHandle {
 
 /// Unblocks a `TcpListener::accept` by completing one loopback
 /// connection; the acceptor rechecks the shutdown flag afterwards.
-fn wake_acceptor(addr: SocketAddr) {
+pub(crate) fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
 }
 
@@ -327,19 +327,31 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 /// exposition, anything else with 404, then closes. One connection at a
 /// time — scrapes are rare and the render is cheap.
 fn prom_loop(listener: &TcpListener, shared: &Shared) {
+    prom_loop_shared(listener, &shared.state, || {
+        shared.shutdown.load(Ordering::SeqCst)
+    });
+}
+
+/// The same accept-and-serve loop over any server core's state; the
+/// event-loop core reuses it with its own shutdown flag.
+pub(crate) fn prom_loop_shared(
+    listener: &TcpListener,
+    state: &ServerState,
+    is_shutdown: impl Fn() -> bool,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => continue,
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if is_shutdown() {
             return;
         }
-        serve_prom_http(shared, stream);
+        serve_prom_http(state, stream);
     }
 }
 
-fn serve_prom_http(shared: &Shared, stream: TcpStream) {
+pub(crate) fn serve_prom_http(state: &ServerState, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let mut writer = match stream.try_clone() {
@@ -366,7 +378,7 @@ fn serve_prom_http(shared: &Shared, stream: TcpStream) {
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
-        ("200 OK", shared.state.render_prom())
+        ("200 OK", state.render_prom())
     } else {
         ("404 Not Found", "not found\n".to_owned())
     };
@@ -381,7 +393,7 @@ fn serve_prom_http(shared: &Shared, stream: TcpStream) {
 
 /// Answers an over-capacity connection with a structured `overloaded`
 /// error (including the retry hint) and closes it.
-fn reject_overloaded(mut stream: TcpStream, retry_after_ms: u64) {
+pub(crate) fn reject_overloaded(mut stream: TcpStream, retry_after_ms: u64) {
     let mut err = ServiceError::new(
         ErrorKind::Overloaded,
         "connection queue full; retry after the hinted delay",

@@ -9,12 +9,13 @@
 //! on demand by [`Telemetry::render_prom`] and validated end to end by
 //! [`samm_core::telemetry::prom::check`] in CI.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use samm_core::cache::CacheStats;
+use samm_core::cache::{CacheStats, ShardStats};
 use samm_core::enumerate::EnumStats;
 use samm_core::obs::Obs;
 use samm_core::telemetry::{
@@ -22,6 +23,7 @@ use samm_core::telemetry::{
     RequestIdGen, LATENCY_LE_NANOS,
 };
 
+use crate::cluster::ClusterSnapshot;
 use crate::json::Json;
 use crate::protocol::Request;
 
@@ -29,11 +31,26 @@ use crate::protocol::Request;
 /// `metrics_prom`, and `shutdown` are monitoring/control traffic and
 /// are accounted separately (see the `monitoring` counter), so
 /// self-observation never skews the service rates.
-pub const KIND_NAMES: [&str; 5] = ["enumerate", "verdict", "witness", "refutation", "certify"];
+pub const KIND_NAMES: [&str; 6] = [
+    "enumerate",
+    "verdict",
+    "witness",
+    "refutation",
+    "certify",
+    "batch",
+];
 
 /// Label values of the delay-set robustness verdict counters, in
 /// [`Telemetry::robust_verdicts`] index order.
 pub const ROBUST_VERDICT_NAMES: [&str; 3] = ["robust", "cycle", "unknown"];
+
+/// `le` bounds of the `samm_batch_size` histogram (plain values, not
+/// nanoseconds): powers of two up to [`crate::protocol::MAX_BATCH`].
+pub const BATCH_SIZE_LE: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// `le` bounds of the `samm_forward_hops` histogram: the `fwd` marker
+/// caps forwarding at one hop, so 0/1 covers every possible value.
+pub const FORWARD_HOPS_LE: [u64; 2] = [0, 1];
 
 /// Index into [`KIND_NAMES`] for a request, or `None` for
 /// monitoring/control kinds.
@@ -44,6 +61,7 @@ pub fn kind_index(request: &Request) -> Option<usize> {
         Request::Witness { .. } => Some(2),
         Request::Refutation { .. } => Some(3),
         Request::Certify { .. } => Some(4),
+        Request::Batch(_) => Some(5),
         Request::Metrics | Request::MetricsProm | Request::Shutdown => None,
     }
 }
@@ -143,7 +161,7 @@ pub struct Telemetry {
     /// Generator for server-assigned request ids.
     pub ids: RequestIdGen,
     /// Per-kind latency histograms and counters ([`KIND_NAMES`] order).
-    pub kinds: [KindTelemetry; 5],
+    pub kinds: [KindTelemetry; 6],
     /// Monitoring requests (`metrics` / `metrics_prom`) — reported
     /// separately so self-observation does not skew `requests`.
     pub monitoring: AtomicU64,
@@ -168,8 +186,33 @@ pub struct Telemetry {
     /// Request id of the most recent slow query (exposed as an info
     /// metric so dashboards can link the exposition to the JSONL log).
     pub last_slow_id: Mutex<Option<String>>,
+    /// Sub-requests per `batch` envelope (plain values, not nanos).
+    pub batch_sizes: Histogram,
+    /// Cluster hops taken to answer an enumerate (0 = owned locally).
+    pub forward_hops: Histogram,
+    /// Requests forwarded to the owning peer and answered by it.
+    pub forwards_ok: AtomicU64,
+    /// Forwards that failed over to local execution (peer unreachable).
+    pub forward_fallbacks: AtomicU64,
+    /// Enumerations that waited on an identical in-flight query instead
+    /// of running their own (single-flight de-duplication).
+    pub singleflight_waits: AtomicU64,
+    /// Forwarded-request tallies per peer node id.
+    pub peer_forwards: Mutex<BTreeMap<String, u64>>,
+    /// Per-event-loop gauges, registered by the event-loop core.
+    pub loops: Mutex<Vec<Arc<LoopGauges>>>,
     /// Slow-query log, when configured.
     pub slow: Option<SlowLog>,
+}
+
+/// Live gauges for one event loop, updated by the loop thread and read
+/// by the exposition.
+#[derive(Debug, Default)]
+pub struct LoopGauges {
+    /// Open connections owned by this loop.
+    pub connections: AtomicU64,
+    /// Requests dispatched to workers and not yet answered.
+    pub inflight: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -195,8 +238,37 @@ impl Telemetry {
             robust_verdicts: Default::default(),
             slow_total: AtomicU64::new(0),
             last_slow_id: Mutex::new(None),
+            batch_sizes: Histogram::default(),
+            forward_hops: Histogram::default(),
+            forwards_ok: AtomicU64::new(0),
+            forward_fallbacks: AtomicU64::new(0),
+            singleflight_waits: AtomicU64::new(0),
+            peer_forwards: Mutex::new(BTreeMap::new()),
+            loops: Mutex::new(Vec::new()),
             slow,
         }
+    }
+
+    /// Registers one event loop's gauges; the returned handle is shared
+    /// with the exposition.
+    pub fn register_loop(&self) -> Arc<LoopGauges> {
+        let gauges = Arc::new(LoopGauges::default());
+        self.loops
+            .lock()
+            .expect("loop gauges poisoned")
+            .push(Arc::clone(&gauges));
+        gauges
+    }
+
+    /// Counts one request forwarded to (and answered by) `peer`.
+    pub fn note_forward(&self, peer: &str) {
+        self.forwards_ok.fetch_add(1, Ordering::Relaxed);
+        *self
+            .peer_forwards
+            .lock()
+            .expect("peer forwards poisoned")
+            .entry(peer.to_owned())
+            .or_insert(0) += 1;
     }
 
     /// Opens a rotating slow-query JSONL log at `path`.
@@ -377,8 +449,17 @@ impl Telemetry {
 
     /// Renders the full Prometheus text exposition. `overloaded` is the
     /// acceptor's rejection counter; `cache` the enumeration cache's
-    /// stats.
-    pub fn render_prom(&self, overloaded: u64, cache: &CacheStats) -> String {
+    /// global stats and `shards` its per-shard breakdown; `cluster` the
+    /// membership view when serving in cluster mode (cluster-labelled
+    /// families are omitted otherwise, as are per-loop gauges on the
+    /// threaded core and per-peer counters before the first forward).
+    pub fn render_prom(
+        &self,
+        overloaded: u64,
+        cache: &CacheStats,
+        shards: &[ShardStats],
+        cluster: Option<&ClusterSnapshot>,
+    ) -> String {
         use samm_core::telemetry::prom::PromText;
         let mut prom = PromText::new();
 
@@ -475,6 +556,147 @@ impl Telemetry {
             "Enumeration-cache entries resident.",
             &[(&[], cache.entries as f64)],
         );
+
+        // Per-shard cache breakdown: hot shards show up as skew here.
+        let shard_labels: Vec<String> = (0..shards.len()).map(|i| i.to_string()).collect();
+        let shard_series = |pick: fn(&ShardStats) -> u64| -> Vec<(Vec<(&str, &str)>, f64)> {
+            shard_labels
+                .iter()
+                .zip(shards)
+                .map(|(label, stats)| (vec![("shard", label.as_str())], pick(stats) as f64))
+                .collect()
+        };
+        for (name, help, series) in [
+            (
+                "samm_cache_shard_entries",
+                "Enumeration-cache entries resident, by shard.",
+                shard_series(|s| s.entries as u64),
+            ),
+            (
+                "samm_cache_shard_hits_total",
+                "Enumeration-cache hits, by shard.",
+                shard_series(|s| s.hits),
+            ),
+            (
+                "samm_cache_shard_misses_total",
+                "Enumeration-cache misses, by shard.",
+                shard_series(|s| s.misses),
+            ),
+        ] {
+            let borrowed: Vec<(&[(&str, &str)], f64)> = series
+                .iter()
+                .map(|(labels, v)| (labels.as_slice(), *v))
+                .collect();
+            if name.ends_with("_total") {
+                prom.counter(name, help, &borrowed);
+            } else {
+                prom.gauge(name, help, &borrowed);
+            }
+        }
+
+        // Batch envelopes and cluster forwarding.
+        let batch_snap = self.batch_sizes.snapshot();
+        prom.histogram_values(
+            "samm_batch_size",
+            "Sub-requests per batch envelope.",
+            &BATCH_SIZE_LE,
+            &[(&[], &batch_snap)],
+        );
+        let hops_snap = self.forward_hops.snapshot();
+        prom.histogram_values(
+            "samm_forward_hops",
+            "Cluster hops taken to answer an enumerate (0 = owned locally).",
+            &FORWARD_HOPS_LE,
+            &[(&[], &hops_snap)],
+        );
+        prom.counter(
+            "samm_forwards_total",
+            "Requests forwarded to the owning peer and answered by it.",
+            &[(&[], self.forwards_ok.load(Ordering::Relaxed) as f64)],
+        );
+        prom.counter(
+            "samm_forward_fallbacks_total",
+            "Forwards that failed over to local execution (peer unreachable).",
+            &[(&[], self.forward_fallbacks.load(Ordering::Relaxed) as f64)],
+        );
+        prom.counter(
+            "samm_singleflight_waits_total",
+            "Enumerations that waited on an identical in-flight query.",
+            &[(&[], self.singleflight_waits.load(Ordering::Relaxed) as f64)],
+        );
+        let peer_forwards = self
+            .peer_forwards
+            .lock()
+            .expect("peer forwards poisoned")
+            .clone();
+        if !peer_forwards.is_empty() {
+            let series: Vec<(Vec<(&str, &str)>, f64)> = peer_forwards
+                .iter()
+                .map(|(peer, count)| (vec![("peer", peer.as_str())], *count as f64))
+                .collect();
+            let borrowed: Vec<(&[(&str, &str)], f64)> = series
+                .iter()
+                .map(|(labels, v)| (labels.as_slice(), *v))
+                .collect();
+            prom.counter(
+                "samm_peer_forwards_total",
+                "Requests forwarded, by destination peer.",
+                &borrowed,
+            );
+        }
+
+        // Per-event-loop gauges (absent on the threaded core).
+        let loops = self.loops.lock().expect("loop gauges poisoned").clone();
+        if !loops.is_empty() {
+            let loop_labels: Vec<String> = (0..loops.len()).map(|i| i.to_string()).collect();
+            for (name, help, pick) in [
+                (
+                    "samm_loop_connections",
+                    "Open connections, by event loop.",
+                    (|g: &LoopGauges| g.connections.load(Ordering::Relaxed))
+                        as fn(&LoopGauges) -> u64,
+                ),
+                (
+                    "samm_loop_inflight",
+                    "Requests dispatched and not yet answered, by event loop.",
+                    |g: &LoopGauges| g.inflight.load(Ordering::Relaxed),
+                ),
+            ] {
+                let series: Vec<(Vec<(&str, &str)>, f64)> = loop_labels
+                    .iter()
+                    .zip(&loops)
+                    .map(|(label, gauges)| (vec![("loop", label.as_str())], pick(gauges) as f64))
+                    .collect();
+                let borrowed: Vec<(&[(&str, &str)], f64)> = series
+                    .iter()
+                    .map(|(labels, v)| (labels.as_slice(), *v))
+                    .collect();
+                prom.gauge(name, help, &borrowed);
+            }
+        }
+
+        // Cluster membership (absent outside cluster mode).
+        if let Some(snapshot) = cluster {
+            prom.gauge(
+                "samm_cluster_self_info",
+                "This node's id (always 1; the id is the label).",
+                &[(&[("node", snapshot.self_id.as_str())], 1.0)],
+            );
+            let series: Vec<(Vec<(&str, &str)>, f64)> = snapshot
+                .nodes
+                .iter()
+                .map(|(id, alive)| (vec![("node", id.as_str())], if *alive { 1.0 } else { 0.0 }))
+                .collect();
+            let borrowed: Vec<(&[(&str, &str)], f64)> = series
+                .iter()
+                .map(|(labels, v)| (labels.as_slice(), *v))
+                .collect();
+            prom.gauge(
+                "samm_cluster_node_up",
+                "Cluster member liveness under this node's view (1 = alive).",
+                &borrowed,
+            );
+        }
 
         let obs = self.obs_agg.snapshot();
         prom.counter(
@@ -590,7 +812,30 @@ mod tests {
         telemetry.record_robust_verdict("robust");
         telemetry.record_robust_verdict("cycle");
         telemetry.record_robust_verdict("robust");
-        let text = telemetry.render_prom(7, &CacheStats::default());
+        telemetry.batch_sizes.record(3);
+        telemetry.forward_hops.record(0);
+        telemetry.forward_hops.record(1);
+        telemetry.note_forward("node-b");
+        telemetry.singleflight_waits.fetch_add(2, Ordering::Relaxed);
+        let gauges = telemetry.register_loop();
+        gauges.connections.fetch_add(4, Ordering::Relaxed);
+        let shards = vec![
+            ShardStats {
+                entries: 2,
+                hits: 5,
+                misses: 1,
+            },
+            ShardStats {
+                entries: 0,
+                hits: 0,
+                misses: 3,
+            },
+        ];
+        let snapshot = ClusterSnapshot {
+            self_id: "node-a".to_owned(),
+            nodes: vec![("node-a".to_owned(), true), ("node-b".to_owned(), false)],
+        };
+        let text = telemetry.render_prom(7, &CacheStats::default(), &shards, Some(&snapshot));
         let summary = prom::check(&text).expect("valid exposition");
         for family in [
             "samm_requests_total",
@@ -599,6 +844,19 @@ mod tests {
             "samm_queue_depth",
             "samm_request_latency_seconds",
             "samm_cache_hits_total",
+            "samm_cache_shard_entries",
+            "samm_cache_shard_hits_total",
+            "samm_cache_shard_misses_total",
+            "samm_batch_size",
+            "samm_forward_hops",
+            "samm_forwards_total",
+            "samm_forward_fallbacks_total",
+            "samm_singleflight_waits_total",
+            "samm_peer_forwards_total",
+            "samm_loop_connections",
+            "samm_loop_inflight",
+            "samm_cluster_self_info",
+            "samm_cluster_node_up",
             "samm_closure_rule_applications_total",
             "samm_robust_verdicts_total",
             "samm_slow_queries_total",
@@ -607,6 +865,11 @@ mod tests {
             assert!(summary.has_family(family), "missing {family}:\n{text}");
         }
         assert!(text.contains("samm_overloaded_total 7"));
+        assert!(text.contains("samm_cache_shard_hits_total{shard=\"0\"} 5"));
+        assert!(text.contains("samm_peer_forwards_total{peer=\"node-b\"} 1"));
+        assert!(text.contains("samm_cluster_node_up{node=\"node-b\"} 0"));
+        assert!(text.contains("samm_loop_connections{loop=\"0\"} 4"));
+        assert!(text.contains("samm_batch_size_count 1"));
         assert!(text.contains("samm_robust_verdicts_total{verdict=\"robust\"} 2"));
         assert!(text.contains("samm_robust_verdicts_total{verdict=\"cycle\"} 1"));
     }

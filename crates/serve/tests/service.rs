@@ -282,3 +282,72 @@ fn cache_persists_across_restarts() {
     second.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The docs-freshness check: the metric-family table in
+/// `docs/SERVICE.md` (one family per row) must list exactly the
+/// families a fully-populated exposition emits — no documented ghost
+/// families, no undocumented metrics.
+#[test]
+fn docs_metric_table_matches_the_prom_exposition() {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::Ordering;
+
+    use samm_core::cache::{CacheStats, ShardStats};
+    use samm_core::telemetry::prom;
+    use samm_serve::cluster::ClusterSnapshot;
+    use samm_serve::telemetry::{ReqOutcome, Telemetry};
+
+    // Populate every conditionally-emitted series: latency samples,
+    // batch/forward histograms, a peer forward, an event-loop gauge,
+    // shard stats, and a cluster snapshot.
+    let telemetry = Telemetry::new(None);
+    telemetry.record(0, ReqOutcome::Miss, Duration::from_millis(3));
+    telemetry.batch_sizes.record(4);
+    telemetry.forward_hops.record(1);
+    telemetry.forwards_ok.fetch_add(1, Ordering::Relaxed);
+    telemetry.forward_fallbacks.fetch_add(1, Ordering::Relaxed);
+    telemetry.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+    telemetry.note_forward("node-b");
+    let _gauges = telemetry.register_loop();
+    let shards = vec![ShardStats {
+        entries: 1,
+        hits: 2,
+        misses: 3,
+    }];
+    let cluster = ClusterSnapshot {
+        self_id: "node-a".to_owned(),
+        nodes: vec![("node-a".to_owned(), true), ("node-b".to_owned(), false)],
+    };
+    let text = telemetry.render_prom(1, &CacheStats::default(), &shards, Some(&cluster));
+    let summary = prom::check(&text).expect("exposition must validate");
+    let exposed: BTreeSet<String> = summary.families.iter().cloned().collect();
+
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/SERVICE.md"
+    ))
+    .expect("docs/SERVICE.md is readable");
+    let documented: BTreeSet<String> = doc
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `samm_")?;
+            Some(format!("samm_{}", rest.split('`').next().unwrap()))
+        })
+        .collect();
+    assert!(
+        documented.len() >= 30,
+        "the SERVICE.md table should list every family, found {}",
+        documented.len()
+    );
+
+    let ghosts: Vec<&String> = documented.difference(&exposed).collect();
+    assert!(
+        ghosts.is_empty(),
+        "documented in SERVICE.md but absent from the exposition: {ghosts:?}"
+    );
+    let undocumented: Vec<&String> = exposed.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "emitted by render_prom but missing from the SERVICE.md table: {undocumented:?}"
+    );
+}
