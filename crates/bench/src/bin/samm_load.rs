@@ -20,8 +20,18 @@
 //! samm-load [--addr HOST:PORT] [--endpoints A:P,B:P,...]
 //!           [--concurrency N] [--passes N] [--batch N]
 //!           [--subset catalog-small|catalog|figures]
-//!           [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]
+//!           [--engine serial|parallel] [--prom HOST:PORT]
+//!           [--trace PATH] [--bench-json PATH] [--shutdown]
 //! ```
+//!
+//! `--trace PATH` makes the generator originate distributed traces:
+//! every wire request carries a fresh `trace` context plus a derived
+//! request id, and the matching client-side root span is appended to
+//! PATH as JSONL — concatenate it with the servers' `--trace-log`
+//! files and the client/server/forward spans of one request share a
+//! trace id. `--bench-json PATH` writes a machine-readable run report
+//! (per-pass throughput and latency quantiles, plus the fresh-vs-hit
+//! microsecond split measured client-side on unbatched runs).
 //!
 //! `--endpoints` takes a comma-separated list of servers (e.g. the
 //! members of a cluster); workers are spread across them round-robin
@@ -41,11 +51,14 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use samm_core::telemetry::{prom, Histogram, HistogramSnapshot};
+use samm_core::telemetry::trace::{ActiveSpan, SpanKind, SpanWriter};
+use samm_core::telemetry::{prom, Histogram, HistogramSnapshot, JsonlLog};
 use samm_litmus::catalog::{self, CatalogEntry};
 use samm_serve::client::Client;
 use samm_serve::json::Json;
@@ -60,6 +73,8 @@ struct Options {
     subset: String,
     engine: String,
     prom: Option<String>,
+    trace: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
     shutdown: bool,
 }
 
@@ -73,6 +88,8 @@ impl Default for Options {
             subset: "catalog-small".to_owned(),
             engine: "serial".to_owned(),
             prom: None,
+            trace: None,
+            bench_json: None,
             shutdown: false,
         }
     }
@@ -83,7 +100,8 @@ fn usage() -> ! {
         "usage: samm-load [--addr HOST:PORT] [--endpoints A:P,B:P,...]\n\
          \x20                [--concurrency N] [--passes N] [--batch N]\n\
          \x20                [--subset catalog-small|catalog|figures]\n\
-         \x20                [--engine serial|parallel] [--prom HOST:PORT] [--shutdown]"
+         \x20                [--engine serial|parallel] [--prom HOST:PORT]\n\
+         \x20                [--trace PATH] [--bench-json PATH] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -125,6 +143,8 @@ fn parse_args() -> Options {
             "--subset" => opts.subset = take("--subset"),
             "--engine" => opts.engine = take("--engine"),
             "--prom" => opts.prom = Some(take("--prom")),
+            "--trace" => opts.trace = Some(PathBuf::from(take("--trace"))),
+            "--bench-json" => opts.bench_json = Some(PathBuf::from(take("--bench-json"))),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -184,6 +204,11 @@ fn workload(entries: &[CatalogEntry], engine: &str) -> Vec<String> {
 
 struct PassTally {
     latencies: HistogramSnapshot,
+    /// Round-trip latencies of responses that missed the cache — only
+    /// recorded on unbatched runs, where one line is one request.
+    fresh: HistogramSnapshot,
+    /// Round-trip latencies of cache-hit responses (unbatched runs).
+    hit: HistogramSnapshot,
     served: u64,
     hits: u64,
     forwarded: u64,
@@ -203,6 +228,8 @@ struct PassCounters {
     forwarded: AtomicU64,
     errors: AtomicU64,
     latencies: Histogram,
+    fresh: Histogram,
+    hit: Histogram,
 }
 
 impl PassCounters {
@@ -214,6 +241,8 @@ impl PassCounters {
             forwarded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latencies: Histogram::new(),
+            fresh: Histogram::new(),
+            hit: Histogram::new(),
         }
     }
 
@@ -288,7 +317,19 @@ impl PassCounters {
 /// over `addrs`; every worker owns one connection, pulls the next
 /// request index (or batch of indices) atomically, and records its
 /// latencies straight into the shared lock-free histogram.
-fn run_pass(addrs: &[SocketAddr], lines: &[String], concurrency: usize, batch: usize) -> PassTally {
+///
+/// With `tracer` set, every wire line carries a fresh trace context
+/// and a derived request id (`load-<pass>-<index>`), and the matching
+/// client root span lands in the tracer's JSONL file — server-side
+/// spans for the same request continue that trace.
+fn run_pass(
+    addrs: &[SocketAddr],
+    lines: &[String],
+    concurrency: usize,
+    batch: usize,
+    pass: usize,
+    tracer: Option<&SpanWriter>,
+) -> PassTally {
     let counters = PassCounters::new();
     std::thread::scope(|scope| {
         for worker in 0..concurrency.max(1) {
@@ -309,20 +350,50 @@ fn run_pass(addrs: &[SocketAddr], lines: &[String], concurrency: usize, batch: u
                         break;
                     }
                     let chunk = &lines[start..(start + batch).min(lines.len())];
-                    let line = if batch == 1 {
+                    let mut line = if batch == 1 {
                         chunk[0].clone()
                     } else {
                         format!("{{\"kind\":\"batch\",\"requests\":[{}]}}", chunk.join(","))
                     };
+                    let mut span = tracer.map(|_| {
+                        let mut span = ActiveSpan::root("client", SpanKind::Client);
+                        span.attr("req", if batch == 1 { "enumerate" } else { "batch" });
+                        span.attr("pass", pass as u64);
+                        span.attr("slots", chunk.len() as u64);
+                        // Every workload line ends in '}', so the id and
+                        // trace context splice in without a JSON parse.
+                        line = format!(
+                            "{},\"id\":\"load-{pass}-{start}\",\"trace\":\"{}\"}}",
+                            &line[..line.len() - 1],
+                            span.context().encode()
+                        );
+                        span
+                    });
                     let started = Instant::now();
                     match client.request_line(&line) {
                         Ok(response) => {
-                            counters.latencies.record_duration(started.elapsed());
+                            let elapsed = started.elapsed();
+                            counters.latencies.record_duration(elapsed);
+                            if batch == 1 {
+                                if response.contains("\"cache_hit\":true") {
+                                    counters.hit.record_duration(elapsed);
+                                } else {
+                                    counters.fresh.record_duration(elapsed);
+                                }
+                            }
+                            if let (Some(mut span), Some(sink)) = (span.take(), tracer) {
+                                span.attr("ok", !response.contains("\"ok\":false"));
+                                span.finish(sink);
+                            }
                             let slots = if batch == 1 { 0 } else { chunk.len() };
                             counters.tally_line(&response, slots);
                         }
                         Err(e) => {
                             eprintln!("samm-load: transport error: {e}");
+                            if let (Some(mut span), Some(sink)) = (span.take(), tracer) {
+                                span.attr("ok", false);
+                                span.finish(sink);
+                            }
                             counters
                                 .errors
                                 .fetch_add(chunk.len() as u64, Ordering::Relaxed);
@@ -334,6 +405,8 @@ fn run_pass(addrs: &[SocketAddr], lines: &[String], concurrency: usize, batch: u
     });
     PassTally {
         latencies: counters.latencies.snapshot(),
+        fresh: counters.fresh.snapshot(),
+        hit: counters.hit.snapshot(),
         served: counters.served.into_inner(),
         hits: counters.hits.into_inner(),
         forwarded: counters.forwarded.into_inner(),
@@ -417,12 +490,33 @@ fn main() -> ExitCode {
         addrs.len(),
     );
 
+    let tracer = match &opts.trace {
+        Some(path) => match JsonlLog::open(path, 64 * 1024 * 1024) {
+            Ok(log) => Some(SpanWriter::new(Arc::new(log))),
+            Err(e) => {
+                eprintln!("samm-load: cannot open trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let mut total_errors = 0u64;
     let mut total_hits = 0u64;
     let mut total_forwarded = 0u64;
+    let mut fresh_total = HistogramSnapshot::default();
+    let mut hit_total = HistogramSnapshot::default();
+    let mut pass_rows = Vec::new();
     for pass in 1..=opts.passes.max(1) {
         let started = Instant::now();
-        let tally = run_pass(&addrs, &lines, opts.concurrency, opts.batch);
+        let tally = run_pass(
+            &addrs,
+            &lines,
+            opts.concurrency,
+            opts.batch,
+            pass,
+            tracer.as_ref(),
+        );
         let wall = started.elapsed();
         let hit_rate = if tally.served == 0 {
             0.0
@@ -442,6 +536,23 @@ fn main() -> ExitCode {
             tally.latencies.max as f64 / 1e6,
             tally.errors,
         );
+        pass_rows.push(Json::obj([
+            ("pass", Json::num(pass as f64)),
+            ("ok", Json::num(tally.served as f64)),
+            ("errors", Json::num(tally.errors as f64)),
+            ("wall_s", Json::num(wall.as_secs_f64())),
+            (
+                "rps",
+                Json::num(tally.served as f64 / wall.as_secs_f64().max(1e-9)),
+            ),
+            ("hit_rate", Json::num(hit_rate)),
+            ("p50_ms", Json::num(quantile_ms(&tally.latencies, 0.50))),
+            ("p90_ms", Json::num(quantile_ms(&tally.latencies, 0.90))),
+            ("p99_ms", Json::num(quantile_ms(&tally.latencies, 0.99))),
+            ("max_ms", Json::num(tally.latencies.max as f64 / 1e6)),
+        ]));
+        fresh_total.merge(&tally.fresh);
+        hit_total.merge(&tally.hit);
         total_errors += tally.errors;
         total_hits += tally.hits;
         total_forwarded += tally.forwarded;
@@ -449,6 +560,44 @@ fn main() -> ExitCode {
     println!("total cache hits: {total_hits}");
     println!("forwarded responses: {total_forwarded}");
     println!("total protocol errors: {total_errors}");
+
+    if let Some(path) = &opts.bench_json {
+        let lat_us = |snap: &HistogramSnapshot| {
+            Json::obj([
+                ("count", Json::num(snap.count as f64)),
+                ("p50_us", Json::num(snap.quantile(0.50) as f64 / 1e3)),
+                ("p99_us", Json::num(snap.quantile(0.99) as f64 / 1e3)),
+                ("mean_us", Json::num(snap.mean() / 1e3)),
+                ("max_us", Json::num(snap.max as f64 / 1e3)),
+            ])
+        };
+        let report = Json::obj([
+            ("bench", Json::str("serve")),
+            ("subset", Json::str(&opts.subset)),
+            ("engine", Json::str(&opts.engine)),
+            ("concurrency", Json::num(opts.concurrency as f64)),
+            ("batch", Json::num(opts.batch as f64)),
+            ("endpoints", Json::num(addrs.len() as f64)),
+            ("requests_per_pass", Json::num(lines.len() as f64)),
+            (
+                "unit",
+                Json::str(if opts.batch == 1 { "req" } else { "batch" }),
+            ),
+            ("passes", Json::Arr(pass_rows)),
+            ("fresh_us", lat_us(&fresh_total)),
+            ("hit_us", lat_us(&hit_total)),
+            ("cache_hits", Json::num(total_hits as f64)),
+            ("forwarded", Json::num(total_forwarded as f64)),
+            ("errors", Json::num(total_errors as f64)),
+        ]);
+        match std::fs::write(path, format!("{report}\n")) {
+            Ok(()) => println!("bench report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("samm-load: cannot write {}: {e}", path.display());
+                total_errors += 1;
+            }
+        }
+    }
 
     if let Some(prom_addr) = &opts.prom {
         if let Err(e) = scrape_prom(prom_addr) {

@@ -25,6 +25,11 @@
 //!   buffering events.
 //! * [`prom`] — rendering *and validation* of the Prometheus text
 //!   exposition format (version 0.0.4), with no external dependencies.
+//! * [`trace`] — distributed tracing spans: trace/span identifiers that
+//!   propagate across the wire, a lock-free-cursor ring sink, and JSONL
+//!   export for flamegraph aggregation.
+
+pub mod trace;
 
 use std::fmt;
 use std::fs::{File, OpenOptions};

@@ -16,19 +16,43 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
+use samm_core::telemetry::trace::{ActiveSpan, SpanKind};
+
 use crate::handler::{find_entry, find_model, handle_sub, ServerState};
 use crate::json::Json;
 use crate::protocol::{Envelope, Request, ServiceError};
 
 /// Executes a parsed batch. `fwd` marks a batch that already crossed
-/// one cluster hop: its sub-requests are answered locally.
+/// one cluster hop: its sub-requests are answered locally. `parent_id`
+/// is the batch envelope's effective id — slots without a client id get
+/// a distinct `{parent_id}.{slot}` child id — and `span` the batch's
+/// server span, under which every slot opens its own child.
 pub(crate) fn execute(
     state: &ServerState,
     subs: &[Result<Envelope, ServiceError>],
     fwd: bool,
+    parent_id: &str,
+    span: Option<&ActiveSpan>,
 ) -> Json {
     state.telemetry.batch_sizes.record(subs.len() as u64);
+    let ctx = span.map(ActiveSpan::context);
     let mut responses: Vec<Option<Json>> = vec![None; subs.len()];
+
+    // Distinct per-slot ids, echoed in each slot's response: the
+    // client's own id wins, otherwise the slot index under the batch's
+    // id. Forwarded sub-envelopes carry them so peers echo the same id.
+    let slot_ids: Vec<Option<String>> = subs
+        .iter()
+        .enumerate()
+        .map(|(index, slot)| match slot {
+            Ok(env) => Some(
+                env.id
+                    .clone()
+                    .unwrap_or_else(|| format!("{parent_id}.{index}")),
+            ),
+            Err(_) => None,
+        })
+        .collect();
 
     // Cluster regrouping: collect peer-owned enumerate slots per owner.
     if let Some(cluster) = state.cluster.as_ref().filter(|_| !fwd) {
@@ -44,14 +68,34 @@ pub(crate) fn execute(
             }
         }
         for (owner, indices) in groups {
+            let mut fwd_span = span.map(|s| s.child("forward", SpanKind::Client));
             let forwarded = Envelope {
                 id: None,
-                request: Request::Batch(indices.iter().map(|&i| subs[i].clone()).collect()),
+                request: Request::Batch(
+                    indices
+                        .iter()
+                        .map(|&i| {
+                            subs[i].clone().map(|mut env| {
+                                env.id.clone_from(&slot_ids[i]);
+                                env
+                            })
+                        })
+                        .collect(),
+                ),
                 fwd: true,
+                trace: fwd_span.as_ref().map(ActiveSpan::context),
             };
             let spliced = cluster
                 .forward(owner, &forwarded)
                 .and_then(|reply| splice(&indices, reply, &mut responses));
+            if let Some(fs) = &mut fwd_span {
+                fs.attr("peer", cluster.node_id(owner).to_owned());
+                fs.attr("slots", indices.len() as u64);
+                fs.attr("ok", spliced.is_some());
+            }
+            if let (Some(fs), Some(sink)) = (fwd_span, state.telemetry.span_sink()) {
+                fs.finish(sink);
+            }
             match spliced {
                 Some(count) => {
                     for _ in 0..count {
@@ -75,13 +119,15 @@ pub(crate) fn execute(
     let rendered: Vec<Json> = subs
         .iter()
         .zip(responses)
-        .map(|(slot, splice_result)| {
+        .zip(&slot_ids)
+        .map(|((slot, splice_result), slot_id)| {
             let response = match (slot, splice_result) {
                 (_, Some(spliced)) => spliced,
                 (Ok(env), None) => {
                     // Slots that already failed one forward attempt run
                     // locally (`fwd` forced) rather than re-routing.
-                    handle_sub(state, env, true)
+                    let id = slot_id.as_deref().expect("ok slots have ids");
+                    handle_sub(state, env, true, id, ctx, parent_id)
                 }
                 (Err(err), None) => {
                     state.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +238,34 @@ mod tests {
         assert_eq!(
             responses[1].get("kind").and_then(Json::as_str),
             Some("metrics")
+        );
+    }
+
+    #[test]
+    fn slots_without_ids_get_distinct_child_ids() {
+        let state = state();
+        let line = batch_line(&[
+            r#"{"kind":"enumerate","test":"SB","model":"TSO"}"#,
+            r#"{"kind":"metrics","id":"mine"}"#,
+            r#"{"kind":"enumerate","test":"SB","model":"SC"}"#,
+        ]);
+        let request = parse_request(&line).unwrap();
+        let response = crate::handler::handle(&state, &request);
+        let parent = response
+            .get("id")
+            .and_then(Json::as_str)
+            .expect("batch id")
+            .to_owned();
+        let responses = response.get("responses").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            responses[0].get("id").and_then(Json::as_str),
+            Some(format!("{parent}.0").as_str())
+        );
+        // Client-supplied ids always win over derived ones.
+        assert_eq!(responses[1].get("id").and_then(Json::as_str), Some("mine"));
+        assert_eq!(
+            responses[2].get("id").and_then(Json::as_str),
+            Some(format!("{parent}.2").as_str())
         );
     }
 

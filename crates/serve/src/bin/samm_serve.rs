@@ -7,7 +7,8 @@
 //!            [--queue-capacity N] [--read-timeout-secs N] [--budget N]
 //!            [--cache-shards N] [--cache-capacity N] [--persist PATH]
 //!            [--prom-addr HOST:PORT] [--slow-log PATH] [--slow-ms N]
-//!            [--slow-log-max-bytes N] [--no-observe]
+//!            [--slow-log-max-bytes N] [--trace-log PATH]
+//!            [--trace-log-max-bytes N] [--no-observe]
 //! ```
 //!
 //! The default `--io event` core multiplexes connections over a
@@ -36,7 +37,8 @@ fn usage() -> ! {
          \x20                 [--queue-capacity N] [--read-timeout-secs N] [--budget N]\n\
          \x20                 [--cache-shards N] [--cache-capacity N] [--persist PATH]\n\
          \x20                 [--prom-addr HOST:PORT] [--slow-log PATH] [--slow-ms N]\n\
-         \x20                 [--slow-log-max-bytes N] [--no-observe]"
+         \x20                 [--slow-log-max-bytes N] [--trace-log PATH]\n\
+         \x20                 [--trace-log-max-bytes N] [--no-observe]"
     );
     std::process::exit(2);
 }
@@ -118,6 +120,13 @@ fn main() -> ExitCode {
             }
             "--slow-log-max-bytes" => {
                 config.slow_log_max_bytes = parse_num("--slow-log-max-bytes", args.next());
+            }
+            "--trace-log" => match args.next() {
+                Some(path) => config.trace_log = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--trace-log-max-bytes" => {
+                config.trace_log_max_bytes = parse_num("--trace-log-max-bytes", args.next());
             }
             "--no-observe" => config.observe = false,
             "--help" | "-h" => usage(),

@@ -260,7 +260,7 @@ pub fn start(config: ServerConfig, event: EventConfig) -> std::io::Result<EventH
             cache.load_from(path)?;
         }
     }
-    let telemetry = match &config.slow_log {
+    let mut telemetry = match &config.slow_log {
         Some(path) => Telemetry::with_slow_log(
             path.clone(),
             config.slow_threshold,
@@ -268,6 +268,7 @@ pub fn start(config: ServerConfig, event: EventConfig) -> std::io::Result<EventH
         )?,
         None => Telemetry::default(),
     };
+    crate::server::attach_trace_log(&mut telemetry, &config)?;
     let mut state = ServerState::with_telemetry(cache, config.budget, telemetry, config.observe);
     if let Some(cluster_config) = event.cluster.clone() {
         state.set_cluster(Arc::new(Cluster::new(cluster_config)));

@@ -20,6 +20,8 @@ use samm_core::explain::{find_witness, refute, Goal, Refutation, RefuteOutcome};
 use samm_core::outcome::{Outcome, OutcomeSet};
 use samm_core::parallel::enumerate_parallel;
 use samm_core::pruned::enumerate_pruned;
+use samm_core::telemetry::trace::{ActiveSpan, SpanKind, TraceContext};
+use samm_core::telemetry::HistogramSnapshot;
 use samm_litmus::catalog::{self, CatalogEntry, ModelSel};
 use samm_litmus::expect::{
     run_entry_cached, run_entry_cached_parallel, run_entry_cached_pruned, EntryReport,
@@ -28,7 +30,10 @@ use samm_litmus::expect::{
 use crate::cluster::Cluster;
 use crate::json::Json;
 use crate::protocol::{EngineSel, Envelope, ErrorKind, Request, ServiceError};
-use crate::telemetry::{kind_index, ReqOutcome, Telemetry, KIND_NAMES};
+use crate::telemetry::{
+    kind_index, snapshot_from_json, snapshot_to_json, FleetSample, ReqOutcome, Telemetry,
+    KIND_NAMES,
+};
 
 /// Monotonic counters the `metrics` request reports.
 #[derive(Debug, Default)]
@@ -181,12 +186,13 @@ pub fn handle(state: &ServerState, request: &Request) -> Json {
 /// by hit/miss/overbudget, the request-rate window, and the slow-query
 /// log.
 pub fn handle_traced(state: &ServerState, request: &Request, id: Option<&str>) -> Json {
-    handle_inner(state, request, id, false, true)
+    handle_inner(state, request, id, false, true, None, None)
 }
 
 /// Executes a parsed envelope: as [`handle_traced`], honouring the
 /// envelope's `fwd` marker (a forwarded request is answered locally,
-/// never re-forwarded). The entry point cluster-aware servers use.
+/// never re-forwarded) and its propagated `trace` context. The entry
+/// point cluster-aware servers use.
 pub fn handle_envelope(state: &ServerState, envelope: &Envelope) -> Json {
     handle_inner(
         state,
@@ -194,22 +200,46 @@ pub fn handle_envelope(state: &ServerState, envelope: &Envelope) -> Json {
         envelope.id.as_deref(),
         envelope.fwd,
         true,
+        envelope.trace,
+        None,
     )
 }
 
 /// Executes one sub-request of a batch: per-kind latency telemetry and
 /// the slow-query log still apply, but the top-level `requests` counter
-/// does not — the batch line was already counted once.
-pub(crate) fn handle_sub(state: &ServerState, envelope: &Envelope, fwd: bool) -> Json {
-    handle_inner(state, &envelope.request, envelope.id.as_deref(), fwd, false)
+/// does not — the batch line was already counted once. `id` is the
+/// slot's effective id (the client's, or a `{parent}.{slot}` child id
+/// derived by the batch layer), `ctx` the batch span's context, and
+/// `parent` the enclosing envelope's id for the slow-query log. A
+/// sub-envelope's own `trace` field, when present, wins over `ctx`.
+pub(crate) fn handle_sub(
+    state: &ServerState,
+    envelope: &Envelope,
+    fwd: bool,
+    id: &str,
+    ctx: Option<TraceContext>,
+    parent: &str,
+) -> Json {
+    handle_inner(
+        state,
+        &envelope.request,
+        Some(id),
+        fwd,
+        false,
+        envelope.trace.or(ctx),
+        Some(parent),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_inner(
     state: &ServerState,
     request: &Request,
     id: Option<&str>,
     fwd: bool,
     top_level: bool,
+    ctx: Option<TraceContext>,
+    batch_parent: Option<&str>,
 ) -> Json {
     let id = id.map_or_else(|| state.telemetry.ids.next_id(), str::to_owned);
     let kind = kind_index(request);
@@ -228,6 +258,34 @@ fn handle_inner(
             state.telemetry.monitoring.fetch_add(1, Ordering::Relaxed);
         }
     };
+    // A server span per latency-tracked request — skipped entirely when
+    // tracing is off (no sink configured AND no propagated context), so
+    // the untraced path pays nothing. With a context but no sink, span
+    // ids still flow downstream so remote parentage stays intact.
+    // Monitoring/control kinds are never spanned: a polling samm-top
+    // must not flood the trace log.
+    let mut span = if kind.is_some() && (state.telemetry.spans.is_some() || ctx.is_some()) {
+        let mut span = match ctx {
+            Some(ctx) => ActiveSpan::continue_trace(
+                ctx,
+                if top_level { "server" } else { "sub" },
+                SpanKind::Server,
+            ),
+            None => ActiveSpan::root("server", SpanKind::Server),
+        };
+        if let Some(k) = kind {
+            span.attr("req", KIND_NAMES[k]);
+        }
+        if fwd {
+            span.attr("fwd", true);
+        }
+        if let Some(cluster) = &state.cluster {
+            span.attr("node", cluster.self_id().to_owned());
+        }
+        Some(span)
+    } else {
+        None
+    };
     let started = Instant::now();
     let result = match request {
         Request::Enumerate {
@@ -235,8 +293,8 @@ fn handle_inner(
             model,
             budget,
             engine,
-        } => enumerate_response(state, test, model, *budget, *engine, fwd),
-        Request::Batch(subs) => Ok(crate::batch::execute(state, subs, fwd)),
+        } => enumerate_response(state, test, model, *budget, *engine, fwd, span.as_ref()),
+        Request::Batch(subs) => Ok(crate::batch::execute(state, subs, fwd, &id, span.as_ref())),
         Request::Verdict {
             test,
             budget,
@@ -260,6 +318,7 @@ fn handle_inner(
             robust,
         } => certify_response(state, test, model, *robust),
         Request::Metrics => Ok(metrics_response(state)),
+        Request::MetricsCluster => Ok(metrics_cluster_response(state, fwd)),
         Request::MetricsProm => Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("kind", Json::str("metrics_prom")),
@@ -280,7 +339,14 @@ fn handle_inner(
         state.telemetry.record(kind, outcome, elapsed);
         state
             .telemetry
-            .note_slow(&id, KIND_NAMES[kind], outcome, elapsed);
+            .note_slow(&id, batch_parent, KIND_NAMES[kind], outcome, elapsed);
+        if let Some(span) = &mut span {
+            span.attr("outcome", outcome.label());
+            span.attr("id", id.clone());
+        }
+    }
+    if let (Some(span), Some(sink)) = (span, state.telemetry.span_sink()) {
+        span.finish(sink);
     }
     if let Json::Obj(map) = &mut response {
         map.insert("id".to_owned(), Json::str(id));
@@ -369,6 +435,7 @@ fn outcomes_json(outcomes: &OutcomeSet) -> Json {
     Json::Arr(outcomes.iter().map(render).collect())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate_response(
     state: &ServerState,
     test: &str,
@@ -376,6 +443,7 @@ fn enumerate_response(
     budget: Option<u64>,
     engine: EngineSel,
     fwd: bool,
+    span: Option<&ActiveSpan>,
 ) -> Result<Json, ServiceError> {
     let entry = find_entry(test)?;
     let sel = find_model(model)?;
@@ -389,6 +457,9 @@ fn enumerate_response(
     if let Some(cluster) = state.cluster.as_ref().filter(|_| !fwd) {
         let owner = cluster.owner_of(fp);
         if cluster.node_id(owner) != cluster.self_id() && !state.cache.contains(fp) {
+            // The forward span is the parent the owning peer continues
+            // under: its context travels in the envelope's trace field.
+            let fwd_span = span.map(|s| s.child("forward", SpanKind::Client));
             let env = Envelope {
                 id: None,
                 request: Request::Enumerate {
@@ -398,6 +469,7 @@ fn enumerate_response(
                     engine,
                 },
                 fwd: true,
+                trace: fwd_span.as_ref().map(ActiveSpan::context),
             };
             match cluster.forward(owner, &env) {
                 Some(mut response) => {
@@ -406,6 +478,11 @@ fn enumerate_response(
                     if let Json::Obj(map) = &mut response {
                         map.insert("forwarded".to_owned(), Json::Bool(true));
                     }
+                    if let (Some(mut fs), Some(sink)) = (fwd_span, state.telemetry.span_sink()) {
+                        fs.attr("peer", cluster.node_id(owner).to_owned());
+                        fs.attr("ok", true);
+                        fs.finish(sink);
+                    }
                     return Ok(response);
                 }
                 None => {
@@ -413,6 +490,11 @@ fn enumerate_response(
                         .telemetry
                         .forward_fallbacks
                         .fetch_add(1, Ordering::Relaxed);
+                    if let (Some(mut fs), Some(sink)) = (fwd_span, state.telemetry.span_sink()) {
+                        fs.attr("peer", cluster.node_id(owner).to_owned());
+                        fs.attr("ok", false);
+                        fs.finish(sink);
+                    }
                 }
             }
         }
@@ -421,6 +503,7 @@ fn enumerate_response(
         state.telemetry.forward_hops.record(0);
     }
 
+    let mut work_span = span.map(|s| s.child("enumerate", SpanKind::Internal));
     // Single-flight: one leader per fingerprint enumerates; identical
     // concurrent queries wait for its cache insert and then hit.
     let (value, hit) = loop {
@@ -480,6 +563,54 @@ fn enumerate_response(
     };
     if !hit {
         state.telemetry.fold_stats(&value.stats);
+    }
+    // A cache hit never records its work span: it would time nothing
+    // but the cache probe, and the server span's `outcome` attribute
+    // already says "hit". Dropping it keeps warm traced traffic cheap
+    // and keeps trace logs proportional to work done, not requests
+    // served. A fresh run decomposes into the engine's measured phases:
+    // the obs timers become synthetic child spans, so a flamegraph
+    // attributes the miss cost to closure/settle/resolve work.
+    if !hit {
+        if let Some(ws) = &mut work_span {
+            ws.attr("engine", engine.name());
+            ws.attr("explored", value.stats.explored as u64);
+            ws.attr("forks", value.stats.forks as u64);
+            ws.attr("deduped", value.stats.deduped as u64);
+        }
+        if let (Some(ws), Some(sink)) = (work_span, state.telemetry.span_sink()) {
+            if let Some(obs) = &value.stats.obs {
+                for (name, nanos, count_key, count) in [
+                    (
+                        "phase:closure",
+                        obs.closure_nanos,
+                        "rounds",
+                        obs.closure_rounds,
+                    ),
+                    (
+                        "phase:settle",
+                        obs.settle_nanos,
+                        "calls",
+                        obs.candidate_calls,
+                    ),
+                    (
+                        "phase:resolve",
+                        obs.resolve_nanos,
+                        "stores",
+                        obs.candidate_stores,
+                    ),
+                ] {
+                    if nanos > 0 || count > 0 {
+                        sink.record_span(ws.synthetic_child(
+                            name,
+                            nanos,
+                            vec![(count_key, count.into())],
+                        ));
+                    }
+                }
+            }
+            ws.finish(sink);
+        }
     }
     // The outcomes/stats fragments are fingerprint-invariant and
     // dominate the response; render them once per key and splice the
@@ -733,6 +864,142 @@ fn metrics_response(state: &ServerState) -> Json {
         ));
     }
     Json::obj(fields)
+}
+
+/// This node's per-kind merged latency snapshots, in wire form.
+fn local_kind_snapshots(telemetry: &Telemetry) -> Json {
+    Json::obj(
+        KIND_NAMES
+            .iter()
+            .zip(&telemetry.kinds)
+            .map(|(name, k)| (*name, snapshot_to_json(&k.merged())))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// This node's sample of the fleet view.
+fn local_node_sample(state: &ServerState) -> Json {
+    let node = state.cluster.as_ref().map_or("local", |c| c.self_id());
+    Json::obj([
+        ("node", Json::str(node)),
+        ("up", Json::Bool(true)),
+        (
+            "requests",
+            Json::num(state.telemetry.requests_total() as f64),
+        ),
+        ("kinds", local_kind_snapshots(&state.telemetry)),
+    ])
+}
+
+/// A snapshot plus derived quantiles, for the `fleet` section.
+fn fleet_kind_json(snap: &HistogramSnapshot) -> Json {
+    let ms = 1e-6; // ns -> ms
+    let mut rendered = snapshot_to_json(snap);
+    if let Json::Obj(map) = &mut rendered {
+        map.insert(
+            "p50_ms".to_owned(),
+            Json::num(snap.quantile(0.50) as f64 * ms),
+        );
+        map.insert(
+            "p99_ms".to_owned(),
+            Json::num(snap.quantile(0.99) as f64 * ms),
+        );
+    }
+    rendered
+}
+
+/// Answers `metrics_cluster`: this node's per-kind histogram snapshots
+/// plus — on the aggregator (`fwd` false) — the same snapshots fanned
+/// out from every ring peer, merged into one `fleet` section. The
+/// histogram merge is exact and commutative, so the fleet histogram
+/// equals the sum of the per-node snapshots it includes; a peer that
+/// does not answer appears with `up:false` and contributes nothing.
+/// The fan-out also refreshes the cached fleet view behind the
+/// `node`-labelled Prometheus families.
+fn metrics_cluster_response(state: &ServerState, fwd: bool) -> Json {
+    let mut nodes: Vec<Json> = vec![local_node_sample(state)];
+    if !fwd {
+        if let Some(cluster) = &state.cluster {
+            for i in 0..cluster.len() {
+                let peer = cluster.node_id(i);
+                if peer == cluster.self_id() {
+                    continue;
+                }
+                let env = Envelope {
+                    id: None,
+                    request: Request::MetricsCluster,
+                    fwd: true,
+                    trace: None,
+                };
+                let answered = cluster.forward(i, &env).and_then(|resp| {
+                    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                        return None;
+                    }
+                    resp.get("nodes")
+                        .and_then(Json::as_arr)
+                        .and_then(|a| a.first().cloned())
+                });
+                nodes.push(answered.unwrap_or_else(|| {
+                    Json::obj([
+                        ("node", Json::str(peer)),
+                        ("up", Json::Bool(false)),
+                        ("requests", Json::num(0.0)),
+                    ])
+                }));
+            }
+        }
+    }
+    // Fleet merge: bucket-wise addition per kind over answering nodes.
+    let mut fleet_requests = 0u64;
+    let mut merged: Vec<HistogramSnapshot> = (0..KIND_NAMES.len())
+        .map(|_| HistogramSnapshot::default())
+        .collect();
+    for node in &nodes {
+        fleet_requests += node.get("requests").and_then(Json::as_u64).unwrap_or(0);
+        if let Some(kinds) = node.get("kinds") {
+            for (i, name) in KIND_NAMES.iter().enumerate() {
+                if let Some(snap) = kinds.get(name).and_then(snapshot_from_json) {
+                    merged[i].merge(&snap);
+                }
+            }
+        }
+    }
+    if !fwd {
+        state
+            .telemetry
+            .update_fleet(nodes.iter().filter_map(|node| {
+                Some((
+                    node.get("node")?.as_str()?.to_owned(),
+                    FleetSample {
+                        up: node.get("up").and_then(Json::as_bool).unwrap_or(false),
+                        requests: node.get("requests").and_then(Json::as_u64).unwrap_or(0),
+                    },
+                ))
+            }));
+    }
+    let fleet_kinds = Json::obj(
+        KIND_NAMES
+            .iter()
+            .zip(&merged)
+            .map(|(name, snap)| (*name, fleet_kind_json(snap)))
+            .collect::<Vec<_>>(),
+    );
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("metrics_cluster")),
+        (
+            "node",
+            Json::str(state.cluster.as_ref().map_or("local", |c| c.self_id())),
+        ),
+        ("nodes", Json::Arr(nodes)),
+        (
+            "fleet",
+            Json::obj([
+                ("requests", Json::num(fleet_requests as f64)),
+                ("kinds", fleet_kinds),
+            ]),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use samm_core::telemetry::trace::TraceContext;
+
 use crate::json::{self, Json};
 
 /// How a request asks the enumeration to run.
@@ -99,6 +101,12 @@ pub enum Request {
     Batch(Vec<Result<Envelope, ServiceError>>),
     /// Report server counters and cache statistics.
     Metrics,
+    /// Report the fleet view: this node's per-kind latency histogram
+    /// snapshots plus — unless the request arrived with `fwd` set —
+    /// the same snapshots fanned out from every ring peer, merged into
+    /// one `fleet` section (histogram merge is exact and commutative,
+    /// so the fleet histogram equals the sum of per-node snapshots).
+    MetricsCluster,
     /// Report the Prometheus text-format exposition (as the `text`
     /// field of the response). The same payload is served over plain
     /// HTTP when the server was started with `--prom-addr`.
@@ -122,6 +130,11 @@ pub struct Envelope {
     /// node answers locally and never forwards again, so routing
     /// disagreements (e.g. mid-drain ring views) cannot loop.
     pub fwd: bool,
+    /// Propagated trace context from the wire `trace` field. Parsing
+    /// is lenient: a missing, non-string, or malformed value is `None`
+    /// (the server starts a fresh root span) — tracing never turns a
+    /// valid request into an error.
+    pub trace: Option<TraceContext>,
 }
 
 /// Ceiling on sub-requests per `batch` envelope; larger batches are
@@ -293,8 +306,24 @@ pub fn parse_envelope(line: &str) -> Result<Envelope, ServiceError> {
         })?),
     };
     let fwd = optional_bool(&value, "fwd")?;
+    let trace = lenient_trace(&value);
     let request = parse_request_obj(&value)?;
-    Ok(Envelope { id, request, fwd })
+    Ok(Envelope {
+        id,
+        request,
+        fwd,
+        trace,
+    })
+}
+
+/// Decodes the optional `trace` field. Deliberately infallible: any
+/// malformation (wrong type, bad hex, wrong shape) degrades to `None`
+/// so the request proceeds under a fresh root span.
+fn lenient_trace(value: &Json) -> Option<TraceContext> {
+    value
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(TraceContext::parse)
 }
 
 fn parse_sub_envelope(value: &Json) -> Result<Envelope, ServiceError> {
@@ -324,6 +353,7 @@ fn parse_sub_envelope(value: &Json) -> Result<Envelope, ServiceError> {
             id,
             request,
             fwd: false,
+            trace: lenient_trace(value),
         }),
     }
 }
@@ -395,6 +425,7 @@ fn parse_request_obj(value: &Json) -> Result<Request, ServiceError> {
             robust: optional_bool(value, "robust")?,
         }),
         "metrics" => Ok(Request::Metrics),
+        "metrics_cluster" => Ok(Request::MetricsCluster),
         "metrics_prom" => Ok(Request::MetricsProm),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServiceError::new(
@@ -487,6 +518,7 @@ pub fn render_request(request: &Request) -> Json {
             fields.push(("requests", Json::Arr(rendered)));
         }
         Request::Metrics => fields.push(("kind", Json::str("metrics"))),
+        Request::MetricsCluster => fields.push(("kind", Json::str("metrics_cluster"))),
         Request::MetricsProm => fields.push(("kind", Json::str("metrics_prom"))),
         Request::Shutdown => fields.push(("kind", Json::str("shutdown"))),
     }
@@ -503,6 +535,9 @@ pub fn render_envelope(env: &Envelope) -> Json {
         }
         if env.fwd {
             map.insert("fwd".to_owned(), Json::Bool(true));
+        }
+        if let Some(ctx) = &env.trace {
+            map.insert("trace".to_owned(), Json::str(ctx.encode()));
         }
     }
     rendered
@@ -569,6 +604,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"kind":"metrics"}"#).unwrap(),
             Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"kind":"metrics_cluster"}"#).unwrap(),
+            Request::MetricsCluster
         );
         assert_eq!(
             parse_request(r#"{"kind":"metrics_prom"}"#).unwrap(),
@@ -671,6 +710,7 @@ mod tests {
             r#"{"kind":"refutation","test":"SB","model":"SC","budget":9}"#,
             r#"{"kind":"certify","test":"SB","model":"TSO","robust":true}"#,
             r#"{"kind":"metrics"}"#,
+            r#"{"kind":"metrics_cluster"}"#,
             r#"{"kind":"batch","requests":[{"kind":"metrics","id":"x"}]}"#,
         ] {
             let env = parse_envelope(line).unwrap();
@@ -690,6 +730,45 @@ mod tests {
         let plain = parse_envelope(r#"{"kind":"metrics"}"#).unwrap();
         assert!(!plain.fwd);
         assert!(!render_envelope(&plain).to_string().contains("fwd"));
+    }
+
+    #[test]
+    fn trace_context_round_trips_on_envelopes_and_subs() {
+        let ctx = TraceContext {
+            trace: 0xabcd_ef01_2345_6789,
+            span: 0x1111_2222_3333_4444,
+        };
+        let line = format!(r#"{{"kind":"metrics","trace":"{}"}}"#, ctx.encode());
+        let env = parse_envelope(&line).unwrap();
+        assert_eq!(env.trace, Some(ctx));
+        let rendered = render_envelope(&env).to_string();
+        assert_eq!(parse_envelope(&rendered).unwrap(), env);
+
+        // Sub-envelopes carry their own trace field too.
+        let line = format!(
+            r#"{{"kind":"batch","requests":[{{"kind":"metrics","trace":"{}"}}]}}"#,
+            ctx.encode()
+        );
+        let Request::Batch(subs) = parse_request(&line).unwrap() else {
+            panic!("expected a batch");
+        };
+        assert_eq!(subs[0].as_ref().unwrap().trace, Some(ctx));
+    }
+
+    #[test]
+    fn malformed_trace_fields_degrade_to_none() {
+        for line in [
+            r#"{"kind":"metrics","trace":"garbage"}"#,
+            r#"{"kind":"metrics","trace":"1234-5678"}"#,
+            r#"{"kind":"metrics","trace":12345}"#,
+            r#"{"kind":"metrics","trace":true}"#,
+            r#"{"kind":"metrics","trace":null}"#,
+            r#"{"kind":"metrics","trace":{"trace":1}}"#,
+        ] {
+            let env = parse_envelope(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(env.trace, None, "{line}");
+            assert_eq!(env.request, Request::Metrics, "{line}");
+        }
     }
 
     #[test]

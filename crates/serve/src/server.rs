@@ -27,6 +27,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use samm_core::cache::EnumCache;
+use samm_core::telemetry::trace::SpanWriter;
+use samm_core::telemetry::JsonlLog;
 
 use crate::handler::{self, ServerState};
 use crate::json::Json;
@@ -68,6 +70,12 @@ pub struct ServerConfig {
     pub slow_threshold: Duration,
     /// Rotate the slow log after roughly this many bytes.
     pub slow_log_max_bytes: u64,
+    /// When set, append one JSONL span record per finished trace span
+    /// to this file (distributed tracing export; see
+    /// docs/OBSERVABILITY.md).
+    pub trace_log: Option<PathBuf>,
+    /// Rotate the trace log after roughly this many bytes.
+    pub trace_log_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,8 @@ impl Default for ServerConfig {
             slow_log: None,
             slow_threshold: Duration::from_millis(100),
             slow_log_max_bytes: 16 * 1024 * 1024,
+            trace_log: None,
+            trace_log_max_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -209,6 +219,20 @@ pub(crate) fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
 }
 
+/// Wires the trace-log span exporter into `telemetry` when the config
+/// asks for one: every finished span appends one JSONL line to a
+/// rotating log (shared by the threaded and event cores).
+pub(crate) fn attach_trace_log(
+    telemetry: &mut Telemetry,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    if let Some(path) = &config.trace_log {
+        let log = JsonlLog::open(path.clone(), config.trace_log_max_bytes)?;
+        telemetry.spans = Some(Box::new(SpanWriter::new(Arc::new(log))));
+    }
+    Ok(())
+}
+
 /// Binds the listener and spawns the acceptor plus worker threads.
 ///
 /// # Errors
@@ -224,7 +248,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             cache.load_from(path)?;
         }
     }
-    let telemetry = match &config.slow_log {
+    let mut telemetry = match &config.slow_log {
         Some(path) => Telemetry::with_slow_log(
             path.clone(),
             config.slow_threshold,
@@ -232,6 +256,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         )?,
         None => Telemetry::default(),
     };
+    attach_trace_log(&mut telemetry, &config)?;
     let prom_listener = config
         .prom_addr
         .as_deref()
@@ -454,11 +479,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
         }
         let response = match parse_envelope(trimmed) {
             Ok(envelope) => {
-                let response = handler::handle_traced(
-                    &shared.state,
-                    &envelope.request,
-                    envelope.id.as_deref(),
-                );
+                // handle_envelope honours the fwd marker and propagates
+                // the trace context, so the threaded core traces (and
+                // clusters) identically to the event core.
+                let response = handler::handle_envelope(&shared.state, &envelope);
                 if envelope.request == Request::Shutdown {
                     let _ = write_response(&mut writer, &response);
                     shared.begin_shutdown();

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use samm_core::cache::{CacheStats, ShardStats};
 use samm_core::enumerate::EnumStats;
 use samm_core::obs::Obs;
+use samm_core::telemetry::trace::SpanSink;
 use samm_core::telemetry::{
     jsonl_event, EventSink, FieldValue, Histogram, HistogramSnapshot, JsonlLog, RateCounter,
     RequestIdGen, LATENCY_LE_NANOS,
@@ -62,8 +63,52 @@ pub fn kind_index(request: &Request) -> Option<usize> {
         Request::Refutation { .. } => Some(3),
         Request::Certify { .. } => Some(4),
         Request::Batch(_) => Some(5),
-        Request::Metrics | Request::MetricsProm | Request::Shutdown => None,
+        Request::Metrics | Request::MetricsCluster | Request::MetricsProm | Request::Shutdown => {
+            None
+        }
     }
+}
+
+/// Renders a [`HistogramSnapshot`] as its wire object —
+/// `{"count":..,"sum":..,"max":..,"buckets":[..]}` — the shape
+/// `metrics_cluster` ships between nodes so the aggregator can rebuild
+/// and merge exact snapshots.
+pub fn snapshot_to_json(snap: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::num(snap.count as f64)),
+        ("sum", Json::num(snap.sum as f64)),
+        ("max", Json::num(snap.max as f64)),
+        (
+            "buckets",
+            Json::Arr(
+                snap.buckets
+                    .iter()
+                    .map(|b| Json::num(*b as f64))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+/// Parses the wire object written by [`snapshot_to_json`]. Returns
+/// `None` for anything malformed — a peer running a different build
+/// degrades to "not merged", never a crash.
+pub fn snapshot_from_json(value: &Json) -> Option<HistogramSnapshot> {
+    let count = value.get("count")?.as_u64()?;
+    let sum = value.get("sum")?.as_u64()?;
+    let max = value.get("max")?.as_u64()?;
+    let buckets = value
+        .get("buckets")?
+        .as_arr()?
+        .iter()
+        .map(|b| b.as_u64())
+        .collect::<Option<Vec<u64>>>()?;
+    Some(HistogramSnapshot {
+        count,
+        sum,
+        max,
+        buckets,
+    })
 }
 
 /// How a request was answered, for counter/histogram labeling.
@@ -203,6 +248,23 @@ pub struct Telemetry {
     pub loops: Mutex<Vec<Arc<LoopGauges>>>,
     /// Slow-query log, when configured.
     pub slow: Option<SlowLog>,
+    /// Span sink for distributed tracing, when configured (`--trace-log`).
+    /// `None` keeps the request path span-free unless a client sends a
+    /// `trace` context (ids still propagate then, unrecorded).
+    pub spans: Option<Box<dyn SpanSink>>,
+    /// Fleet view cached from the most recent `metrics_cluster`
+    /// fan-out, keyed by node id. Backs the `node`-labelled Prometheus
+    /// families; empty (families omitted) until the first fan-out.
+    pub fleet: Mutex<BTreeMap<String, FleetSample>>,
+}
+
+/// One node's contribution to the cached fleet view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSample {
+    /// Whether the node answered the most recent fan-out.
+    pub up: bool,
+    /// Latency-tracked requests the node reported.
+    pub requests: u64,
 }
 
 /// Live gauges for one event loop, updated by the loop thread and read
@@ -246,7 +308,22 @@ impl Telemetry {
             peer_forwards: Mutex::new(BTreeMap::new()),
             loops: Mutex::new(Vec::new()),
             slow,
+            spans: None,
+            fleet: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The span sink, when tracing is configured.
+    pub fn span_sink(&self) -> Option<&dyn SpanSink> {
+        self.spans.as_deref()
+    }
+
+    /// Replaces the cached fleet view with `samples` (one
+    /// `metrics_cluster` fan-out's worth).
+    pub fn update_fleet(&self, samples: impl IntoIterator<Item = (String, FleetSample)>) {
+        let mut fleet = self.fleet.lock().expect("fleet poisoned");
+        fleet.clear();
+        fleet.extend(samples);
     }
 
     /// Registers one event loop's gauges; the returned handle is shared
@@ -303,15 +380,24 @@ impl Telemetry {
     }
 
     /// Logs a slow query (when configured and `elapsed` is at or over
-    /// the threshold) and remembers its id.
-    pub fn note_slow(&self, id: &str, kind: &str, outcome: ReqOutcome, elapsed: Duration) {
+    /// the threshold) and remembers its id. `batch_parent` is the id of
+    /// the enclosing `batch` envelope for sub-requests, recorded as the
+    /// `batch` field so a slow slot can be tied back to its envelope.
+    pub fn note_slow(
+        &self,
+        id: &str,
+        batch_parent: Option<&str>,
+        kind: &str,
+        outcome: ReqOutcome,
+        elapsed: Duration,
+    ) {
         let Some(slow) = &self.slow else { return };
         if elapsed < slow.threshold {
             return;
         }
         self.slow_total.fetch_add(1, Ordering::Relaxed);
         *self.last_slow_id.lock().expect("slow id poisoned") = Some(id.to_owned());
-        let line = jsonl_event(&[
+        let mut fields = vec![
             (
                 "uptime_ms",
                 FieldValue::U64(self.started.elapsed().as_millis() as u64),
@@ -321,8 +407,11 @@ impl Telemetry {
             ("outcome", FieldValue::Str(outcome.label())),
             ("ns", FieldValue::U64(elapsed.as_nanos() as u64)),
             ("ms", FieldValue::F64(elapsed.as_secs_f64() * 1e3)),
-        ]);
-        slow.sink.emit(&line);
+        ];
+        if let Some(parent) = batch_parent {
+            fields.push(("batch", FieldValue::Str(parent)));
+        }
+        slow.sink.emit(&jsonl_event(&fields));
     }
 
     /// Tallies one delay-set robustness verdict (by its
@@ -675,6 +764,33 @@ impl Telemetry {
             }
         }
 
+        // Fleet view (absent until the first metrics_cluster fan-out).
+        let fleet = self.fleet.lock().expect("fleet poisoned").clone();
+        if !fleet.is_empty() {
+            let up: Vec<(Vec<(&str, &str)>, f64)> = fleet
+                .iter()
+                .map(|(node, s)| (vec![("node", node.as_str())], if s.up { 1.0 } else { 0.0 }))
+                .collect();
+            let borrowed: Vec<(&[(&str, &str)], f64)> =
+                up.iter().map(|(l, v)| (l.as_slice(), *v)).collect();
+            prom.gauge(
+                "samm_fleet_node_up",
+                "Whether the node answered the last metrics_cluster fan-out.",
+                &borrowed,
+            );
+            let requests: Vec<(Vec<(&str, &str)>, f64)> = fleet
+                .iter()
+                .map(|(node, s)| (vec![("node", node.as_str())], s.requests as f64))
+                .collect();
+            let borrowed: Vec<(&[(&str, &str)], f64)> =
+                requests.iter().map(|(l, v)| (l.as_slice(), *v)).collect();
+            prom.gauge(
+                "samm_fleet_node_requests",
+                "Requests each node reported in the last metrics_cluster fan-out.",
+                &borrowed,
+            );
+        }
+
         // Cluster membership (absent outside cluster mode).
         if let Some(snapshot) = cluster {
             prom.gauge(
@@ -780,7 +896,7 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samm_core::telemetry::prom;
+    use samm_core::telemetry::{prom, MemorySink};
 
     #[test]
     fn classify_reads_responses() {
@@ -817,6 +933,22 @@ mod tests {
         telemetry.forward_hops.record(1);
         telemetry.note_forward("node-b");
         telemetry.singleflight_waits.fetch_add(2, Ordering::Relaxed);
+        telemetry.update_fleet([
+            (
+                "node-a".to_owned(),
+                FleetSample {
+                    up: true,
+                    requests: 12,
+                },
+            ),
+            (
+                "node-b".to_owned(),
+                FleetSample {
+                    up: false,
+                    requests: 0,
+                },
+            ),
+        ]);
         let gauges = telemetry.register_loop();
         gauges.connections.fetch_add(4, Ordering::Relaxed);
         let shards = vec![
@@ -853,6 +985,8 @@ mod tests {
             "samm_forward_fallbacks_total",
             "samm_singleflight_waits_total",
             "samm_peer_forwards_total",
+            "samm_fleet_node_up",
+            "samm_fleet_node_requests",
             "samm_loop_connections",
             "samm_loop_inflight",
             "samm_cluster_self_info",
@@ -872,6 +1006,76 @@ mod tests {
         assert!(text.contains("samm_batch_size_count 1"));
         assert!(text.contains("samm_robust_verdicts_total{verdict=\"robust\"} 2"));
         assert!(text.contains("samm_robust_verdicts_total{verdict=\"cycle\"} 1"));
+        assert!(text.contains("samm_fleet_node_requests{node=\"node-a\"} 12"));
+        assert!(text.contains("samm_fleet_node_up{node=\"node-b\"} 0"));
+    }
+
+    #[test]
+    fn histogram_snapshots_round_trip_through_json() {
+        let histogram = Histogram::default();
+        for v in [1u64, 700, 700, 9_000, 1_000_000] {
+            histogram.record(v);
+        }
+        let snap = histogram.snapshot();
+        let rendered = snapshot_to_json(&snap).to_string();
+        let parsed =
+            snapshot_from_json(&crate::json::parse(&rendered).unwrap()).expect("round trip");
+        assert_eq!(parsed, snap);
+        // Merging two round-tripped snapshots matches merging the originals.
+        let mut merged = parsed.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count, 2 * snap.count);
+        assert_eq!(merged.sum, 2 * snap.sum);
+        // Malformed shapes degrade to None.
+        for bad in [
+            r#"{"count":1,"sum":2}"#,
+            r#"{"count":1,"sum":2,"max":3,"buckets":"x"}"#,
+            r#"{"count":1,"sum":2,"max":3,"buckets":[1,"x"]}"#,
+            r#"[]"#,
+        ] {
+            assert!(
+                snapshot_from_json(&crate::json::parse(bad).unwrap()).is_none(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_log_records_the_batch_parent() {
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(Some(SlowLog {
+            threshold: Duration::from_nanos(1),
+            sink: Box::new(SharedSink(std::sync::Arc::clone(&sink))),
+        }));
+        telemetry.note_slow(
+            "b1.3",
+            Some("b1"),
+            "enumerate",
+            ReqOutcome::Miss,
+            Duration::from_millis(5),
+        );
+        telemetry.note_slow(
+            "r9",
+            None,
+            "verdict",
+            ReqOutcome::Miss,
+            Duration::from_millis(5),
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\":\"b1.3\""));
+        assert!(lines[0].contains("\"batch\":\"b1\""));
+        assert!(!lines[1].contains("\"batch\""));
+    }
+
+    /// Forwards to a shared [`MemorySink`] so the test keeps a reader.
+    #[derive(Debug)]
+    struct SharedSink(std::sync::Arc<MemorySink>);
+
+    impl EventSink for SharedSink {
+        fn emit(&self, line: &str) {
+            self.0.emit(line);
+        }
     }
 
     #[test]

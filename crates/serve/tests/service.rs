@@ -308,6 +308,13 @@ fn docs_metric_table_matches_the_prom_exposition() {
     telemetry.forward_fallbacks.fetch_add(1, Ordering::Relaxed);
     telemetry.singleflight_waits.fetch_add(1, Ordering::Relaxed);
     telemetry.note_forward("node-b");
+    telemetry.update_fleet([(
+        "node-b".to_owned(),
+        samm_serve::telemetry::FleetSample {
+            up: true,
+            requests: 7,
+        },
+    )]);
     let _gauges = telemetry.register_loop();
     let shards = vec![ShardStats {
         entries: 1,

@@ -176,6 +176,7 @@ fn overhead_pieces() {
             .record(0, ReqOutcome::Hit, Duration::from_micros(20));
         state.telemetry.note_slow(
             "r1",
+            None,
             "enumerate",
             ReqOutcome::Hit,
             Duration::from_micros(20),
